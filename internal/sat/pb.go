@@ -1,0 +1,142 @@
+package sat
+
+// PBTerm is one weighted literal of a pseudo-Boolean constraint.
+type PBTerm struct {
+	Lit    Lit
+	Weight int64
+}
+
+// pbConstraint represents sum(w_i * l_i) <= k with counter-based
+// propagation: sumTrue tracks the weight of currently-true literals and is
+// maintained incrementally by enqueue/cancelUntil.
+type pbConstraint struct {
+	lits    []Lit
+	weights []int64
+	wmap    map[Lit]int64
+	k       int64
+	sumTrue int64
+	maxW    int64
+}
+
+func (p *pbConstraint) weightOf(l Lit) int64 { return p.wmap[l] }
+
+// AddPB adds the constraint sum(terms) <= k. Terms with non-positive
+// weights are rejected; duplicate literals are merged. Returns false if the
+// solver becomes unsatisfiable at the top level.
+func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddPB above decision level 0")
+	}
+	wmap := make(map[Lit]int64, len(terms))
+	for _, t := range terms {
+		if t.Weight <= 0 {
+			panic("sat: non-positive PB weight")
+		}
+		if t.Lit == 0 || t.Lit.Var() > s.nVars {
+			panic("sat: bad PB literal")
+		}
+		wmap[t.Lit] += t.Weight
+	}
+	p := &pbConstraint{wmap: wmap, k: k}
+	for l, w := range wmap {
+		p.lits = append(p.lits, l)
+		p.weights = append(p.weights, w)
+		if w > p.maxW {
+			p.maxW = w
+		}
+		// already-true literals at level 0 count immediately
+		if s.value(l) == lTrue {
+			p.sumTrue += w
+		}
+	}
+	if p.sumTrue > p.k {
+		s.ok = false
+		return false
+	}
+	s.pbs = append(s.pbs, p)
+	pi := int32(len(s.pbs) - 1)
+	for _, l := range p.lits {
+		s.pbOcc[l.index()] = append(s.pbOcc[l.index()], pi)
+	}
+	// initial propagation: literals too heavy to ever be true
+	for i, l := range p.lits {
+		if s.value(l) == lUndef && p.sumTrue+p.weights[i] > p.k {
+			if !s.enqueue(l.Neg(), reason{pb: pi + 1}) {
+				s.ok = false
+				return false
+			}
+		}
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return false
+	}
+	return true
+}
+
+// propagatePB handles PB constraints after literal l became true. The sum
+// update itself happened in enqueue; here we detect conflicts and force
+// literals whose weight no longer fits.
+func (s *Solver) propagatePB(l Lit) *clause {
+	for _, pi := range s.pbOcc[l.index()] {
+		p := s.pbs[pi]
+		if p.sumTrue > p.k {
+			return s.pbConflictClause(p)
+		}
+		slack := p.k - p.sumTrue
+		if p.maxW <= slack {
+			continue
+		}
+		for i, q := range p.lits {
+			if p.weights[i] > slack && s.value(q) == lUndef {
+				if !s.enqueue(q.Neg(), reason{pb: pi + 1}) {
+					return s.pbConflictClause(p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pbConflictClause synthesizes a conflicting clause (all literals false)
+// from the true literals of a violated PB constraint.
+func (s *Solver) pbConflictClause(p *pbConstraint) *clause {
+	var lits []Lit
+	for _, q := range p.lits {
+		if s.value(q) == lTrue {
+			lits = append(lits, q.Neg())
+		}
+	}
+	return &clause{lits: lits}
+}
+
+// pbReasonLits builds the reason clause for the assignment of variable v
+// forced by PB constraint pi: the implied literal plus the negations of
+// constraint literals that were already true when v was assigned.
+func (s *Solver) pbReasonLits(pi int, v int) []Lit {
+	p := s.pbs[pi]
+	var implied Lit
+	if s.assigns[v] == lTrue {
+		implied = Lit(int32(v))
+	} else {
+		implied = Lit(-int32(v))
+	}
+	lits := []Lit{implied}
+	vpos := s.trailPosOf(v)
+	for _, q := range p.lits {
+		if s.value(q) == lTrue && s.trailPosOf(q.Var()) < vpos {
+			lits = append(lits, q.Neg())
+		}
+	}
+	return lits
+}
+
+func (s *Solver) trailPosOf(v int) int32 {
+	if v < len(s.trailPos) {
+		return s.trailPos[v]
+	}
+	return 1 << 30
+}

@@ -1,0 +1,429 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(Lit(a), Lit(b))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if !s.ValueOf(a) && !s.ValueOf(b) {
+		t.Error("model does not satisfy (a | b)")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(Lit(a))
+	if ok := s.AddClause(Lit(a).Neg()); ok {
+		t.Error("AddClause of contradiction should return false")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	s := New()
+	vs := make([]int, 10)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	// v0, and vi -> vi+1
+	s.AddClause(Lit(vs[0]))
+	for i := 0; i < 9; i++ {
+		s.AddClause(Lit(vs[i]).Neg(), Lit(vs[i+1]))
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	for i, v := range vs {
+		if !s.ValueOf(v) {
+			t.Errorf("v%d should be true", i)
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// 4 pigeons, 3 holes: classic small UNSAT instance that requires search.
+	s := New()
+	p := make([][]int, 4)
+	for i := range p {
+		p[i] = make([]int, 3)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < 4; i++ {
+		s.AddClause(Lit(p[i][0]), Lit(p[i][1]), Lit(p[i][2]))
+	}
+	for j := 0; j < 3; j++ {
+		for i1 := 0; i1 < 4; i1++ {
+			for i2 := i1 + 1; i2 < 4; i2++ {
+				s.AddClause(Lit(p[i1][j]).Neg(), Lit(p[i2][j]).Neg())
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("pigeonhole: Solve = %v, want Unsat", got)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(Lit(a).Neg(), Lit(b))
+	if got := s.Solve(Lit(a)); got != Sat {
+		t.Fatalf("Solve(a) = %v", got)
+	}
+	if !s.ValueOf(a) || !s.ValueOf(b) {
+		t.Error("assumption a should force b")
+	}
+	s.AddClause(Lit(b).Neg())
+	if got := s.Solve(Lit(a)); got != Unsat {
+		t.Fatalf("Solve(a) after !b = %v, want Unsat", got)
+	}
+	// Without the assumption still satisfiable.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+	if s.ValueOf(a) {
+		t.Error("a must be false now")
+	}
+}
+
+func TestPBAtMostOne(t *testing.T) {
+	s := New()
+	vs := []int{s.NewVar(), s.NewVar(), s.NewVar()}
+	terms := []PBTerm{}
+	for _, v := range vs {
+		terms = append(terms, PBTerm{Lit(v), 1})
+	}
+	s.AddPB(terms, 1)
+	s.AddClause(Lit(vs[0]))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	count := 0
+	for _, v := range vs {
+		if s.ValueOf(v) {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("at-most-1 violated: %d true", count)
+	}
+	// forcing two of them is unsat
+	s.AddClause(Lit(vs[1]))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+}
+
+func TestPBWeighted(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// 5a + 3b + 2c <= 5
+	s.AddPB([]PBTerm{{Lit(a), 5}, {Lit(b), 3}, {Lit(c), 2}}, 5)
+	s.AddClause(Lit(b))
+	s.AddClause(Lit(c))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if s.ValueOf(a) {
+		t.Error("a must be false: 5+3+2 > 5")
+	}
+	s2 := New()
+	a2, b2 := s2.NewVar(), s2.NewVar()
+	s2.AddPB([]PBTerm{{Lit(a2), 5}, {Lit(b2), 3}}, 4)
+	s2.AddClause(Lit(a2))
+	if got := s2.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat (a alone exceeds k)", got)
+	}
+}
+
+func TestPBTopLevelPropagation(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(Lit(a))
+	// a already true, weight 4 of 5; b weight 3 must be forced false.
+	s.AddPB([]PBTerm{{Lit(a), 4}, {Lit(b), 3}}, 5)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if s.ValueOf(b) {
+		t.Error("b should be forced false at top level")
+	}
+}
+
+// bruteForceSat checks satisfiability of a CNF + PB set by enumeration.
+func bruteForceSat(nVars int, cnf [][]Lit, pbs []struct {
+	terms []PBTerm
+	k     int64
+}) bool {
+	for mask := 0; mask < 1<<nVars; mask++ {
+		val := func(l Lit) bool {
+			bit := mask>>(l.Var()-1)&1 == 1
+			if l < 0 {
+				return !bit
+			}
+			return bit
+		}
+		ok := true
+		for _, cl := range cnf {
+			sat := false
+			for _, l := range cl {
+				if val(l) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for _, pb := range pbs {
+				var sum int64
+				for _, t := range pb.terms {
+					if val(t.Lit) {
+						sum += t.Weight
+					}
+				}
+				if sum > pb.k {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropRandomCNFAgainstBruteForce cross-checks the CDCL solver against
+// exhaustive enumeration on random small instances.
+func TestPropRandomCNFAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 3 + rng.Intn(8) // 3..10
+		nClauses := 2 + rng.Intn(30)
+		var cnf [][]Lit
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			var cl []Lit
+			for j := 0; j < width; j++ {
+				v := 1 + rng.Intn(nVars)
+				l := Lit(v)
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				cl = append(cl, l)
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteForceSat(nVars, cnf, nil)
+		got := s.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cnf=%v", iter, got, want, cnf)
+		}
+		if got {
+			// verify the model actually satisfies the CNF
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					v := s.ValueOf(l.Var())
+					if (l > 0 && v) || (l < 0 && !v) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: returned model violates clause %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+// TestPropRandomPBAgainstBruteForce adds random PB constraints to random CNF.
+func TestPropRandomPBAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 3 + rng.Intn(6)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var cnf [][]Lit
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			width := 1 + rng.Intn(3)
+			var cl []Lit
+			for j := 0; j < width; j++ {
+				v := 1 + rng.Intn(nVars)
+				l := Lit(v)
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				cl = append(cl, l)
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		var pbs []struct {
+			terms []PBTerm
+			k     int64
+		}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			n := 1 + rng.Intn(nVars)
+			var terms []PBTerm
+			used := map[int]bool{}
+			var total int64
+			for j := 0; j < n; j++ {
+				v := 1 + rng.Intn(nVars)
+				if used[v] {
+					continue
+				}
+				used[v] = true
+				w := int64(1 + rng.Intn(5))
+				l := Lit(v)
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				terms = append(terms, PBTerm{l, w})
+				total += w
+			}
+			k := int64(rng.Intn(int(total + 1)))
+			pbs = append(pbs, struct {
+				terms []PBTerm
+				k     int64
+			}{terms, k})
+			if !s.AddPB(terms, k) {
+				break
+			}
+		}
+		want := bruteForceSat(nVars, cnf, pbs)
+		got := s.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v", iter, got, want)
+		}
+		if got {
+			for _, pb := range pbs {
+				var sum int64
+				for _, term := range pb.terms {
+					v := s.ValueOf(term.Lit.Var())
+					if (term.Lit > 0 && v) || (term.Lit < 0 && !v) {
+						sum += term.Weight
+					}
+				}
+				if sum > pb.k {
+					t.Fatalf("iter %d: model violates PB (sum=%d k=%d)", iter, sum, pb.k)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalSolveLoop mimics branch-and-bound: repeatedly solve and
+// tighten a PB bound.
+func TestIncrementalSolveLoop(t *testing.T) {
+	s := New()
+	n := 8
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	// at least 3 of the first 5 must be true (as clauses over complements):
+	// sum(!v_i for i<5) <= 2
+	var negTerms []PBTerm
+	for i := 0; i < 5; i++ {
+		negTerms = append(negTerms, PBTerm{Lit(vs[i]).Neg(), 1})
+	}
+	s.AddPB(negTerms, 2)
+
+	// minimize number of true vars by B&B
+	best := -1
+	for {
+		if s.Solve() != Sat {
+			break
+		}
+		count := 0
+		for _, v := range vs {
+			if s.ValueOf(v) {
+				count++
+			}
+		}
+		best = count
+		var terms []PBTerm
+		for _, v := range vs {
+			terms = append(terms, PBTerm{Lit(v), 1})
+		}
+		if !s.AddPB(terms, int64(count-1)) {
+			break
+		}
+	}
+	if best != 3 {
+		t.Errorf("B&B minimum = %d, want 3", best)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Error("Status.String mismatch")
+	}
+}
+
+func TestHardRandom3SAT(t *testing.T) {
+	// Near phase-transition random 3-SAT at n=60: exercises restarts,
+	// learning, and the heap under real search.
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	m := int(4.2 * float64(n))
+	s := New()
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	for i := 0; i < m; i++ {
+		var cl []Lit
+		for j := 0; j < 3; j++ {
+			v := 1 + rng.Intn(n)
+			l := Lit(v)
+			if rng.Intn(2) == 0 {
+				l = l.Neg()
+			}
+			cl = append(cl, l)
+		}
+		s.AddClause(cl...)
+	}
+	got := s.Solve()
+	if got == Unknown {
+		t.Fatal("should not time out")
+	}
+	t.Logf("n=%d m=%d: %v (conflicts=%d decisions=%d props=%d)",
+		n, m, got, s.Conflicts, s.Decisions, s.Propagations)
+}

@@ -1,0 +1,673 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver with pseudo-Boolean (weighted at-most-k) constraints.
+//
+// It is the search core underneath the ASP solver in internal/asp, playing
+// the role clasp plays underneath Clingo in Spack's concretizer: clauses
+// come from Clark completion of the ground program, cardinality bounds on
+// choice rules, lazily discovered loop nogoods, and branch-and-bound
+// optimization constraints.
+//
+// The design follows MiniSat: two-literal watching, first-UIP conflict
+// analysis with clause minimization, VSIDS branching with an indexed heap,
+// phase saving, Luby restarts, and activity-based learnt-clause deletion.
+package sat
+
+import "fmt"
+
+// Lit is a literal: +v for the positive literal of variable v, -v for its
+// negation. Variables are numbered from 1.
+type Lit int32
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Var returns the variable of the literal.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Sign reports whether the literal is negative.
+func (l Lit) Sign() bool { return l < 0 }
+
+// index maps a literal to a dense array index: 2v for +v, 2v+1 for -v.
+func (l Lit) index() int {
+	if l < 0 {
+		return int(-l)*2 + 1
+	}
+	return int(l) * 2
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver gave up (budget exceeded).
+	Unknown Status = iota
+	// Sat means a model was found.
+	Sat
+	// Unsat means no model exists under the given assumptions.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+// clause is a disjunction of literals. Learnt clauses carry an activity for
+// the deletion heuristic.
+type clause struct {
+	lits     []Lit
+	activity float64
+	learnt   bool
+	deleted  bool
+}
+
+// reason records why a literal was assigned: a clause, a PB constraint, or
+// a decision (nil).
+type reason struct {
+	cl *clause
+	pb int32 // PB constraint index+1, or 0
+}
+
+func (r reason) isDecision() bool { return r.cl == nil && r.pb == 0 }
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+	watches [][]*clause // literal index -> watching clauses
+
+	assigns  []lbool // var -> value
+	level    []int32 // var -> decision level
+	trailPos []int32 // var -> position on trail when assigned
+	reasons  []reason
+	polarity []bool // phase saving: last assigned sign
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	// VSIDS
+	activity []float64
+	varInc   float64
+	order    *varHeap
+
+	// PB constraints
+	pbs   []*pbConstraint
+	pbOcc [][]int32 // literal index -> PB constraints watching that literal
+
+	// conflict analysis scratch
+	seen      []bool
+	analyzeTmp []Lit
+
+	ok bool // false once a top-level conflict is found
+
+	// statistics
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+
+	// MaxConflicts bounds the search; <=0 means unbounded.
+	MaxConflicts int64
+
+	conflictBudget int64
+	model          []lbool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1.0, ok: true}
+	s.order = newVarHeap(&s.activity)
+	// index 0 unused
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.trailPos = append(s.trailPos, 0)
+	s.reasons = append(s.reasons, reason{})
+	s.polarity = append(s.polarity, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.pbOcc = append(s.pbOcc, nil, nil)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns its number (>= 1).
+func (s *Solver) NewVar() int {
+	s.nVars++
+	v := s.nVars
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.trailPos = append(s.trailPos, 0)
+	s.reasons = append(s.reasons, reason{})
+	s.polarity = append(s.polarity, true) // default phase: false (polarity true => assign -v first)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.pbOcc = append(s.pbOcc, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause. Returns false if the solver is already in an
+// unsatisfiable state at the top level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Normalize: drop false lits and duplicates, detect tautology/satisfied.
+	out := lits[:0:0]
+	seen := map[Lit]bool{}
+	for _, l := range lits {
+		if l == 0 || l.Var() > s.nVars {
+			panic(fmt.Sprintf("sat: bad literal %d", l))
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied
+		case lFalse:
+			continue
+		}
+		if seen[l.Neg()] {
+			return true // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], reason{}) {
+			s.ok = false
+			return false
+		}
+		if s.propagate() != nil {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+func (s *Solver) watchClause(c *clause) {
+	// watch the negations of the first two literals
+	w0 := c.lits[0].Neg().index()
+	w1 := c.lits[1].Neg().index()
+	s.watches[w0] = append(s.watches[w0], c)
+	s.watches[w1] = append(s.watches[w1], c)
+}
+
+// enqueue assigns a literal true with the given reason. Returns false on
+// an immediate conflict with the existing assignment.
+func (s *Solver) enqueue(l Lit, r reason) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l < 0 {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.trailPos[v] = int32(len(s.trail))
+	s.reasons[v] = r
+	s.polarity[v] = l < 0
+	s.trail = append(s.trail, l)
+	// update PB sums
+	for _, pi := range s.pbOcc[l.index()] {
+		s.pbs[pi].sumTrue += s.pbs[pi].weightOf(l)
+	}
+	return true
+}
+
+// propagate performs unit propagation and PB propagation. Returns a
+// conflicting clause description, or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		if c := s.propagateLit(l); c != nil {
+			return c
+		}
+		if c := s.propagatePB(l); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+func (s *Solver) propagateLit(l Lit) *clause {
+	// clauses watching l (i.e., containing Neg(l) watched... we watch
+	// Neg(first two lits); when l becomes true, clauses where l.Neg() is a
+	// watched literal need attention. Our watch list key is the literal
+	// whose truth triggers the clause: we stored watches under
+	// lits[i].Neg().index(), so the trigger key is exactly l.index() when
+	// lits[i] == l.Neg().
+	ws := s.watches[l.index()]
+	j := 0
+	for i := 0; i < len(ws); i++ {
+		c := ws[i]
+		if c.deleted {
+			continue
+		}
+		// Ensure the falsified literal is lits[1].
+		falsified := l.Neg()
+		if c.lits[0] == falsified {
+			c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+		}
+		// If lits[0] is true, clause satisfied; keep watch.
+		if s.value(c.lits[0]) == lTrue {
+			ws[j] = c
+			j++
+			continue
+		}
+		// Find a new literal to watch.
+		found := false
+		for k := 2; k < len(c.lits); k++ {
+			if s.value(c.lits[k]) != lFalse {
+				c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+				w := c.lits[1].Neg().index()
+				s.watches[w] = append(s.watches[w], c)
+				found = true
+				break
+			}
+		}
+		if found {
+			continue // watch moved; drop from this list
+		}
+		// Clause is unit or conflicting.
+		ws[j] = c
+		j++
+		if !s.enqueue(c.lits[0], reason{cl: c}) {
+			// conflict: copy remaining watches and return
+			j2 := j
+			for i2 := i + 1; i2 < len(ws); i2++ {
+				ws[j2] = ws[i2]
+				j2++
+			}
+			s.watches[l.index()] = ws[:j2]
+			s.qhead = len(s.trail)
+			return c
+		}
+	}
+	s.watches[l.index()] = ws[:j]
+	return nil
+}
+
+// unassign pops trail entries down to the given trail size.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		for _, pi := range s.pbOcc[l.index()] {
+			s.pbs[pi].sumTrue -= s.pbs[pi].weightOf(l)
+		}
+		s.assigns[v] = lUndef
+		s.reasons[v] = reason{}
+		if !s.order.inHeap(v) {
+			s.order.insert(v)
+		}
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.order.inHeap(v) {
+		s.order.decrease(v)
+	}
+}
+
+func (s *Solver) decayVarActivity() { s.varInc /= 0.95 }
+
+// reasonLits returns the literals of the reason for variable v's
+// assignment (the implied literal first).
+func (s *Solver) reasonLits(v int) []Lit {
+	r := s.reasons[v]
+	if r.cl != nil {
+		return r.cl.lits
+	}
+	if r.pb != 0 {
+		return s.pbReasonLits(int(r.pb-1), v)
+	}
+	return nil
+}
+
+// analyze performs 1UIP conflict analysis. Returns the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for asserting literal
+	counter := 0
+	var p Lit
+	pReason := confl.lits
+	idx := len(s.trail) - 1
+	cleanup := []int{}
+
+	for {
+		for _, q := range pReason {
+			if q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			cleanup = append(cleanup, v)
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// pick next literal from trail
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Neg()
+			break
+		}
+		pReason = s.reasonLits(v)
+	}
+
+	// Clause minimization: remove literals implied by the rest.
+	minimized := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.redundant(q) {
+			minimized = append(minimized, q)
+		}
+	}
+	learnt = minimized
+
+	// compute backtrack level: max level among learnt[1:]
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	for _, v := range cleanup {
+		s.seen[v] = false
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal q in a learnt clause is implied by the
+// other marked literals (simple recursive self-subsumption check).
+func (s *Solver) redundant(q Lit) bool {
+	v := q.Var()
+	r := s.reasons[v]
+	if r.isDecision() {
+		return false
+	}
+	for _, l := range s.reasonLits(v) {
+		lv := l.Var()
+		if lv == v || s.seen[lv] || s.level[lv] == 0 {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a model under the given assumptions. On Sat, the model
+// is retrievable via ValueOf until the next Solve or clause addition.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+	s.conflictBudget = s.MaxConflicts
+
+	restartNum := int64(1)
+	conflictsSinceRestart := int64(0)
+	restartLimit := luby(restartNum) * 100
+	learntLimit := int64(len(s.clauses)/3 + 2000)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflictsSinceRestart++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				s.cancelUntil(0)
+				return Unsat
+			}
+			if s.decisionLevel() <= len(assumptions) {
+				// Conflict within assumption levels: UNSAT under assumptions.
+				s.cancelUntil(0)
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			if btLevel < len(assumptions) {
+				btLevel = len(assumptions)
+			}
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 && s.decisionLevel() == 0 {
+				if !s.enqueue(learnt[0], reason{}) {
+					s.ok = false
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learnt: true, activity: s.varInc}
+				s.learnts = append(s.learnts, c)
+				if len(learnt) >= 2 {
+					s.watchClause(c)
+				}
+				if !s.enqueue(learnt[0], reason{cl: c}) {
+					s.ok = false
+					return Unsat
+				}
+			}
+			s.decayVarActivity()
+			if s.conflictBudget > 0 && s.Conflicts >= s.conflictBudget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+
+		// restart?
+		if conflictsSinceRestart >= restartLimit {
+			restartNum++
+			conflictsSinceRestart = 0
+			restartLimit = luby(restartNum) * 100
+			s.cancelUntil(len(assumptions))
+			continue
+		}
+		// reduce learnt DB?
+		if int64(len(s.learnts)) > learntLimit {
+			s.reduceLearnts()
+			learntLimit = learntLimit + learntLimit/10
+		}
+
+		// assumptions first
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// already satisfied: open an empty level to keep indices aligned
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, reason{})
+			continue
+		}
+
+		// decide
+		v := s.pickBranchVar()
+		if v == 0 {
+			// model found
+			s.model = make([]lbool, s.nVars+1)
+			copy(s.model, s.assigns)
+			s.cancelUntil(0)
+			return Sat
+		}
+		s.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		var l Lit
+		if s.polarity[v] {
+			l = Lit(-int32(v))
+		} else {
+			l = Lit(int32(v))
+		}
+		s.enqueue(l, reason{})
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	for !s.order.empty() {
+		v := s.order.removeMin()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return 0
+}
+
+func (s *Solver) reduceLearnts() {
+	// sort learnts ascending by activity (simple selection of half)
+	ls := s.learnts
+	// insertion sort is too slow for large DBs; use a simple quicksort
+	quickSortClauses(ls)
+	keep := ls[:0]
+	half := len(ls) / 2
+	for i, c := range ls {
+		locked := false
+		// a clause is locked if it is the reason for a current assignment
+		if s.value(c.lits[0]) == lTrue && s.reasons[c.lits[0].Var()].cl == c {
+			locked = true
+		}
+		if i < half && len(c.lits) > 2 && !locked {
+			c.deleted = true
+		} else {
+			keep = append(keep, c)
+		}
+	}
+	s.learnts = keep
+}
+
+func quickSortClauses(cs []*clause) {
+	if len(cs) < 2 {
+		return
+	}
+	pivot := cs[len(cs)/2].activity
+	i, j := 0, len(cs)-1
+	for i <= j {
+		for cs[i].activity < pivot {
+			i++
+		}
+		for cs[j].activity > pivot {
+			j--
+		}
+		if i <= j {
+			cs[i], cs[j] = cs[j], cs[i]
+			i++
+			j--
+		}
+	}
+	quickSortClauses(cs[:j+1])
+	quickSortClauses(cs[i:])
+}
+
+// ValueOf returns the model value of variable v after a Sat result.
+func (s *Solver) ValueOf(v int) bool {
+	if s.model == nil || v >= len(s.model) {
+		return false
+	}
+	return s.model[v] == lTrue
+}
+
+// Okay reports whether the solver is still consistent at the top level.
+func (s *Solver) Okay() bool { return s.ok }

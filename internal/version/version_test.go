@@ -1,0 +1,239 @@
+package version
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		segs int
+	}{
+		{"1.14.5", 3},
+		{"3.4.3", 3},
+		{"1", 1},
+		{"develop", 1},
+		{"2021.06.0", 3},
+		{"1.0-rc1", 3},
+		{"1_2", 2},
+	}
+	for _, c := range cases {
+		v, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if v.Len() != c.segs {
+			t.Errorf("Parse(%q): got %d segments, want %d", c.in, v.Len(), c.segs)
+		}
+		if v.String() != c.in {
+			t.Errorf("Parse(%q).String() = %q", c.in, v.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", ".", "..", "-"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.2", "1.2", 0},
+		{"1.2", "1.3", -1},
+		{"1.10", "1.9", 1},
+		{"1.2", "1.2.1", -1},
+		{"1.2.beta", "1.2.1", -1}, // alpha before numeric
+		{"develop", "1.0", -1},
+		{"1.2.11", "1.2.2", 1},
+		{"2.0", "10.0", -1},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.Compare(b); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := b.Compare(a); got != -c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	cases := []struct {
+		v, p string
+		want bool
+	}{
+		{"1.2.11", "1.2", true},
+		{"1.2.11", "1.2.11", true},
+		{"1.2", "1.2.11", false},
+		{"1.22", "1.2", false},
+		{"1.2.11", "1", true},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.v).HasPrefix(MustParse(c.p)); got != c.want {
+			t.Errorf("HasPrefix(%q,%q) = %v, want %v", c.v, c.p, got, c.want)
+		}
+	}
+}
+
+func TestRangeSatisfies(t *testing.T) {
+	cases := []struct {
+		rng, v string
+		want   bool
+	}{
+		// Exact form uses prefix semantics: the paper concretizes
+		// depends_on("zlib@1.2") to zlib@1.2.11.
+		{"1.2", "1.2.11", true},
+		{"1.2", "1.2", true},
+		{"1.2", "1.3", false},
+		{"1.2", "1.22", false},
+		{"1.2:1.4", "1.3", true},
+		{"1.2:1.4", "1.4.8", true}, // upper bound prefix semantics
+		{"1.2:1.4", "1.5", false},
+		{"1.2:1.4", "1.1", false},
+		{"1.2:", "9.9", true},
+		{"1.2:", "1.1", false},
+		{":1.4", "0.1", true},
+		{":1.4", "1.4.2", true},
+		{":1.4", "1.5", false},
+		{":", "42", true},
+		// Lower bound prefix: 1.2 satisfies "1.2.5:"? No: 1.2 < 1.2.5
+		// and 1.2 does not have prefix 1.2.5.
+		{"1.2.5:", "1.2", false},
+		// But 1.2.5 satisfies "1.2:" trivially and "@1.2:"
+		{"1.2:", "1.2.5", true},
+	}
+	for _, c := range cases {
+		r := MustParseRange(c.rng)
+		if got := r.Satisfies(MustParse(c.v)); got != c.want {
+			t.Errorf("Range(%q).Satisfies(%q) = %v, want %v", c.rng, c.v, got, c.want)
+		}
+	}
+}
+
+func TestRangeParseErrors(t *testing.T) {
+	for _, in := range []string{"", "1.2:1.4:1.6", "2.0:1.0", "1..2"} {
+		if _, err := ParseRange(in); err == nil {
+			t.Errorf("ParseRange(%q): expected error", in)
+		}
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	for _, s := range []string{"1.2", "1.2:1.4", "1.2:", ":1.4", ":"} {
+		r := MustParseRange(s)
+		if r.String() != s {
+			t.Errorf("Range(%q).String() = %q", s, r.String())
+		}
+	}
+}
+
+func TestSortAndMax(t *testing.T) {
+	vs := []Version{MustParse("1.10"), MustParse("1.2"), MustParse("1.9")}
+	Sort(vs)
+	if got := vs[0].String() + "," + vs[1].String() + "," + vs[2].String(); got != "1.2,1.9,1.10" {
+		t.Errorf("Sort: got %s", got)
+	}
+	SortDesc(vs)
+	if vs[0].String() != "1.10" {
+		t.Errorf("SortDesc: got %s first", vs[0])
+	}
+	if m := Max(vs); m.String() != "1.10" {
+		t.Errorf("Max: got %s", m)
+	}
+	if !Max(nil).IsZero() {
+		t.Error("Max(nil) should be zero")
+	}
+}
+
+// randomVersion generates a structured random version for property tests.
+func randomVersion(r *rand.Rand) Version {
+	n := 1 + r.Intn(4)
+	parts := make([]string, n)
+	for i := range parts {
+		if r.Intn(5) == 0 {
+			parts[i] = []string{"alpha", "beta", "rc1", "dev"}[r.Intn(4)]
+		} else {
+			parts[i] = strconv.Itoa(r.Intn(30))
+		}
+	}
+	return MustParse(strings.Join(parts, "."))
+}
+
+func TestPropCompareAntisymmetric(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomVersion(rand.New(rand.NewSource(seedA)))
+		b := randomVersion(rand.New(rand.NewSource(seedB)))
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareTransitive(t *testing.T) {
+	f := func(s1, s2, s3 int64) bool {
+		a := randomVersion(rand.New(rand.NewSource(s1)))
+		b := randomVersion(rand.New(rand.NewSource(s2)))
+		c := randomVersion(rand.New(rand.NewSource(s3)))
+		// sort the three and verify pairwise consistency
+		vs := []Version{a, b, c}
+		Sort(vs)
+		return vs[0].Compare(vs[1]) <= 0 && vs[1].Compare(vs[2]) <= 0 && vs[0].Compare(vs[2]) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareReflexiveAndRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		v := randomVersion(rand.New(rand.NewSource(seed)))
+		w := MustParse(v.String())
+		return v.Compare(v) == 0 && v.Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropPrefixImpliesExactSatisfies(t *testing.T) {
+	// Any version satisfies the exact range of any of its prefixes.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomVersion(r)
+		k := 1 + r.Intn(v.Len())
+		prefix := MustParse(strings.Join(strings.FieldsFunc(v.String(), func(c rune) bool {
+			return c == '.' || c == '-' || c == '_'
+		})[:k], "."))
+		return ExactRange(prefix).Satisfies(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRangeContainsBounds(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a := randomVersion(rand.New(rand.NewSource(s1)))
+		b := randomVersion(rand.New(rand.NewSource(s2)))
+		if a.Compare(b) > 0 {
+			a, b = b, a
+		}
+		r := NewRange(a, b)
+		return r.Satisfies(a) && r.Satisfies(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
