@@ -1,0 +1,3 @@
+module github.com/paper-repo-growth/go-arxiv
+
+go 1.24

@@ -1,0 +1,54 @@
+package concretize
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+)
+
+// The BenchmarkConcretize* benchmarks are the repo's perf baseline: each
+// measures a full concretization (encode + branch-and-bound solve + decode)
+// over a deterministic synthetic universe from internal/repo. Future PRs
+// optimize against these numbers.
+
+func benchConcretize(b *testing.B, u *repo.Universe, root string) {
+	b.Helper()
+	b.ReportAllocs()
+	roots := []Root{{Pkg: root}}
+	for i := 0; i < b.N; i++ {
+		res, err := Concretize(u, roots, Options{})
+		if err != nil {
+			b.Fatalf("Concretize: %v", err)
+		}
+		if len(res.Picks) == 0 {
+			b.Fatal("empty resolution")
+		}
+	}
+}
+
+func BenchmarkConcretizeDiamond(b *testing.B) {
+	u, root := repo.SynthDiamond(8, 8)
+	benchConcretize(b, u, root)
+}
+
+func BenchmarkConcretizeChain(b *testing.B) {
+	u, root := repo.SynthChain(24, 6)
+	benchConcretize(b, u, root)
+}
+
+func BenchmarkConcretizeDense(b *testing.B) {
+	u, root := repo.SynthDense(40, 8, 3, 1)
+	benchConcretize(b, u, root)
+}
+
+func BenchmarkConcretizeUnsatWeb(b *testing.B) {
+	u, root := repo.SynthUnsatWeb(10, 4)
+	b.ReportAllocs()
+	roots := []Root{{Pkg: root}}
+	for i := 0; i < b.N; i++ {
+		if _, err := Concretize(u, roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
+			b.Fatalf("err = %v, want ErrUnsatisfiable", err)
+		}
+	}
+}

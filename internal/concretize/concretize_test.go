@@ -1,0 +1,289 @@
+package concretize
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+)
+
+// pickStrings renders a resolution as pkg -> version strings for asserts.
+func pickStrings(r *Resolution) map[string]string {
+	out := make(map[string]string, len(r.Picks))
+	for p, v := range r.Picks {
+		out[p] = v.String()
+	}
+	return out
+}
+
+func mustConcretize(t *testing.T, u *repo.Universe, roots []Root) *Resolution {
+	t.Helper()
+	res, err := Concretize(u, roots, Options{})
+	if err != nil {
+		t.Fatalf("Concretize: %v", err)
+	}
+	if !res.Stats.Optimal {
+		t.Fatal("expected an optimal resolution")
+	}
+	return res
+}
+
+// TestDiamondNewest is the headline end-to-end case: a multi-package
+// universe with diamond dependencies resolves to the newest-version-
+// preferring solution.
+func TestDiamondNewest(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "2.0", repo.Dep("liba", ":"), repo.Dep("libb", ":"))
+	u.Add("app", "1.0", repo.Dep("liba", ":"))
+	u.Add("liba", "3.0", repo.Dep("base", "1.2"))
+	u.Add("liba", "2.0", repo.Dep("base", "1.2"))
+	u.Add("liba", "1.0", repo.Dep("base", ":"))
+	u.Add("libb", "2.0", repo.Dep("base", "1.2.8:"))
+	u.Add("libb", "1.0", repo.Dep("base", ":"))
+	u.Add("base", "1.2.11")
+	u.Add("base", "1.2.8")
+	u.Add("base", "1.1")
+
+	res := mustConcretize(t, u, []Root{MustParseRoot("app")})
+	want := map[string]string{
+		"app":  "2.0",
+		"liba": "3.0",
+		"libb": "2.0",
+		"base": "1.2.11",
+	}
+	if got := pickStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("picks = %v, want %v", got, want)
+	}
+	if res.Stats.Cost != 4 {
+		// 4 installed packages at their newest versions: cost is the four
+		// y_p weights and nothing else.
+		t.Errorf("cost = %d, want 4", res.Stats.Cost)
+	}
+}
+
+// TestSynthDiamondNewest runs the generator-built diamond: everything must
+// land on its newest version.
+func TestSynthDiamondNewest(t *testing.T) {
+	u, root := repo.SynthDiamond(4, 6)
+	res := mustConcretize(t, u, []Root{{Pkg: root}})
+	if len(res.Picks) != 6 { // app + 4 mids + base
+		t.Fatalf("installed %d packages, want 6", len(res.Picks))
+	}
+	for pkg, v := range res.Picks {
+		if v.String() != "6.0" {
+			t.Errorf("%s resolved to %s, want newest 6.0", pkg, v)
+		}
+	}
+}
+
+// TestSynthChainNewest: deep chains also resolve all-newest.
+func TestSynthChainNewest(t *testing.T) {
+	u, root := repo.SynthChain(12, 5)
+	res := mustConcretize(t, u, []Root{{Pkg: root}})
+	if len(res.Picks) != 12 {
+		t.Fatalf("installed %d packages, want 12", len(res.Picks))
+	}
+	for pkg, v := range res.Picks {
+		if v.String() != "5.0" {
+			t.Errorf("%s resolved to %s, want 5.0", pkg, v)
+		}
+	}
+}
+
+// TestOlderRootWhenNewestUnbuildable: if the newest root version has an
+// unsatisfiable dependency, the optimizer must fall back to an older root
+// version rather than failing.
+func TestOlderRootWhenNewestUnbuildable(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "2.0", repo.Dep("base", ":0.9")) // no such base version
+	u.Add("app", "1.0", repo.Dep("base", ":"))
+	u.Add("base", "1.0")
+	res := mustConcretize(t, u, []Root{MustParseRoot("app")})
+	want := map[string]string{"app": "1.0", "base": "1.0"}
+	if got := pickStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("picks = %v, want %v", got, want)
+	}
+}
+
+// TestGlobalOptimumBeatsGreedy: greedily taking the newest version of the
+// first package is suboptimal here; branch-and-bound must find the global
+// optimum instead.
+func TestGlobalOptimumBeatsGreedy(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "1.0", repo.Dep("a", ":"), repo.Dep("b", ":"))
+	// a@2.0 pins b down to 1.x (cost 0 + 2); a@1.0 frees b (cost 1 + 0).
+	u.Add("a", "2.0", repo.Dep("b", ":1"))
+	u.Add("a", "1.0", repo.Dep("b", ":"))
+	u.Add("b", "3.0")
+	u.Add("b", "2.0")
+	u.Add("b", "1.0")
+	res := mustConcretize(t, u, []Root{MustParseRoot("app")})
+	want := map[string]string{"app": "1.0", "a": "1.0", "b": "3.0"}
+	if got := pickStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("picks = %v, want %v", got, want)
+	}
+	if res.Stats.Improvements < 1 || res.Stats.SolveCalls < 2 {
+		t.Errorf("expected a real branch-and-bound run, got %+v", res.Stats)
+	}
+}
+
+// TestRootNewnessBeatsDependencyNewness: when keeping the root at its
+// newest version forces a dependency downgrade, the root must win — root
+// version-lag dominates dependency version-lag in the objective, as in
+// Spack's root-first optimization order.
+func TestRootNewnessBeatsDependencyNewness(t *testing.T) {
+	u := repo.New()
+	// netcdf@4.9 pins zlib to the 1.2 series; netcdf@4.8 allows any zlib.
+	u.Add("netcdf", "4.9", repo.Dep("zlib", "1.2"))
+	u.Add("netcdf", "4.8", repo.Dep("zlib", ":"))
+	u.Add("zlib", "1.3.1")
+	u.Add("zlib", "1.2.13")
+	res := mustConcretize(t, u, []Root{MustParseRoot("netcdf")})
+	want := map[string]string{"netcdf": "4.9", "zlib": "1.2.13"}
+	if got := pickStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("picks = %v, want %v (root newness must dominate)", got, want)
+	}
+}
+
+// TestConflictForcesOlderVersion: a declared conflict must steer the
+// resolution away from the otherwise-optimal pick.
+func TestConflictForcesOlderVersion(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "1.0", repo.Dep("x", ":"), repo.Dep("y", ":"))
+	u.Add("x", "2.0", repo.Confl("y", "2.0"))
+	u.Add("x", "1.0")
+	u.Add("y", "2.0")
+	u.Add("y", "1.0")
+	res := mustConcretize(t, u, []Root{MustParseRoot("app")})
+	got := pickStrings(res)
+	if got["x"] == "2.0" && got["y"] == "2.0" {
+		t.Fatalf("conflict violated: %v", got)
+	}
+	// Either (x2, y1) or (x1, y2) is optimal: 3 installs plus exactly one
+	// version step (a step weighs reachable-packages+1 = 4).
+	if res.Stats.Cost != 7 {
+		t.Errorf("cost = %d, want 7 (%v)", res.Stats.Cost, got)
+	}
+}
+
+// TestOptionalPackageNotInstalled: packages no chosen version depends on
+// must be left out of the resolution.
+func TestOptionalPackageNotInstalled(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "2.0") // newest app needs nothing
+	u.Add("app", "1.0", repo.Dep("legacy", ":"))
+	u.Add("legacy", "1.0")
+	res := mustConcretize(t, u, []Root{MustParseRoot("app")})
+	want := map[string]string{"app": "2.0"}
+	if got := pickStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("picks = %v, want %v", got, want)
+	}
+}
+
+// TestUnsatWeb: an unsatisfiable universe must be reported as such.
+func TestUnsatWeb(t *testing.T) {
+	u, root := repo.SynthUnsatWeb(4, 3)
+	_, err := Concretize(u, []Root{{Pkg: root}}, Options{})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+// TestRootRangeUnsatisfiable: a root constraint no version matches is
+// unsatisfiable, not a panic or an empty resolution.
+func TestRootRangeUnsatisfiable(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "2.0")
+	_, err := Concretize(u, []Root{MustParseRoot("app@9:")}, Options{})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+// TestUnknownRootRejected: asking for a package the universe does not have
+// is a request error, distinct from unsatisfiability.
+func TestUnknownRootRejected(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "1.0")
+	_, err := Concretize(u, []Root{MustParseRoot("ghost")}, Options{})
+	if err == nil || errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want unknown-package error", err)
+	}
+}
+
+// TestMultiRootSharedDependency: two roots constraining the same package
+// must agree on a single version in the intersection.
+func TestMultiRootSharedDependency(t *testing.T) {
+	u := repo.New()
+	u.Add("tool1", "1.0", repo.Dep("zlib", ":1.2.8"))
+	u.Add("tool2", "1.0", repo.Dep("zlib", "1.2.5:"))
+	u.Add("zlib", "1.2.11")
+	u.Add("zlib", "1.2.8")
+	u.Add("zlib", "1.2.5")
+	u.Add("zlib", "1.2.3")
+	res := mustConcretize(t, u, []Root{MustParseRoot("tool1"), MustParseRoot("tool2")})
+	want := map[string]string{"tool1": "1.0", "tool2": "1.0", "zlib": "1.2.8"}
+	if got := pickStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("picks = %v, want %v", got, want)
+	}
+}
+
+// TestRootVersionConstraint: the root's own @range must be honored even
+// when it forbids the newest version.
+func TestRootVersionConstraint(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "3.0")
+	u.Add("app", "2.0")
+	u.Add("app", "1.0")
+	res := mustConcretize(t, u, []Root{MustParseRoot("app@:2")})
+	want := map[string]string{"app": "2.0"}
+	if got := pickStrings(res); !reflect.DeepEqual(got, want) {
+		t.Errorf("picks = %v, want %v", got, want)
+	}
+}
+
+// TestDenseDeterministic: the dense synthetic universe resolves, and two
+// independent runs agree pick-for-pick (encoding and search are
+// deterministic).
+func TestDenseDeterministic(t *testing.T) {
+	u, root := repo.SynthDense(24, 6, 3, 42)
+	res1 := mustConcretize(t, u, []Root{{Pkg: root}})
+	res2 := mustConcretize(t, u, []Root{{Pkg: root}})
+	if !reflect.DeepEqual(pickStrings(res1), pickStrings(res2)) {
+		t.Error("two runs over the same universe disagree")
+	}
+	if len(res1.Picks) < 2 {
+		t.Errorf("dense universe resolved only %d packages", len(res1.Picks))
+	}
+}
+
+// TestEmptyRoots: no roots means the empty resolution, trivially optimal.
+func TestEmptyRoots(t *testing.T) {
+	u := repo.New()
+	u.Add("app", "1.0")
+	res, err := Concretize(u, nil, Options{})
+	if err != nil {
+		t.Fatalf("Concretize: %v", err)
+	}
+	if len(res.Picks) != 0 || !res.Stats.Optimal {
+		t.Errorf("got %+v, want empty optimal resolution", res)
+	}
+}
+
+// TestParseRoot covers the request-string forms.
+func TestParseRoot(t *testing.T) {
+	r := MustParseRoot("zlib@1.2:1.4")
+	if r.Pkg != "zlib" || r.Range.String() != "1.2:1.4" {
+		t.Errorf("got %+v", r)
+	}
+	r = MustParseRoot("zlib")
+	if r.Pkg != "zlib" || !r.Range.IsAny() {
+		t.Errorf("got %+v", r)
+	}
+	for _, bad := range []string{"", "@1.2", "zlib@2:1"} {
+		if _, err := ParseRoot(bad); err == nil {
+			t.Errorf("ParseRoot(%q): expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package concretize_test
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+)
+
+// ExampleConcretize resolves a small Spack-flavored universe: netcdf's
+// newest version pins zlib to the 1.2 series, and root newness dominates,
+// so netcdf stays at 4.9.2 while zlib steps back to 1.2.13.
+func ExampleConcretize() {
+	u := repo.New()
+	u.Add("netcdf", "4.9.2", repo.Dep("hdf5", "1.14"), repo.Dep("zlib", "1.2"))
+	u.Add("netcdf", "4.8.1", repo.Dep("hdf5", ":"), repo.Dep("zlib", ":"))
+	u.Add("hdf5", "1.14.3", repo.Dep("zlib", "1.2.8:"))
+	u.Add("hdf5", "1.12.0", repo.Dep("zlib", ":"))
+	u.Add("zlib", "1.3.1")
+	u.Add("zlib", "1.2.13")
+	u.Add("zlib", "1.2.8")
+
+	res, err := concretize.Concretize(u, []concretize.Root{
+		concretize.MustParseRoot("netcdf"),
+	}, concretize.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	names := make([]string, 0, len(res.Picks))
+	for n := range res.Picks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s@%s\n", n, res.Picks[n])
+	}
+	// Output:
+	// hdf5@1.14.3
+	// netcdf@4.9.2
+	// zlib@1.2.13
+}

@@ -1,0 +1,171 @@
+// Package repo models a package universe: package names, their available
+// versions, per-version dependency constraints, and conflicts. It is the
+// input side of the concretizer in internal/concretize, playing the role
+// Spack's package repository plays for its concretizer: a static catalog
+// that resolution requests are solved against.
+package repo
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/version"
+)
+
+// Dependency is a constraint declared by one package version: the named
+// package must be installed at a version inside Range.
+type Dependency struct {
+	Pkg   string
+	Range version.Range
+}
+
+// Conflict declares that the declaring package version cannot coexist with
+// the named package at any version inside Range.
+type Conflict struct {
+	Pkg   string
+	Range version.Range
+}
+
+// Decl is a dependency or conflict declaration accepted by Universe.Add.
+type Decl interface{ isDecl() }
+
+func (Dependency) isDecl() {}
+func (Conflict) isDecl()   {}
+
+// Dep builds a Dependency from string forms. It panics on a malformed
+// range; intended for package definitions and tests where inputs are
+// literals.
+func Dep(pkg, rng string) Dependency {
+	return Dependency{Pkg: pkg, Range: version.MustParseRange(rng)}
+}
+
+// Confl builds a Conflict from string forms; panics on a malformed range.
+func Confl(pkg, rng string) Conflict {
+	return Conflict{Pkg: pkg, Range: version.MustParseRange(rng)}
+}
+
+// VersionDef is one concrete version of a package together with the
+// dependencies and conflicts it declares.
+type VersionDef struct {
+	Version   version.Version
+	Deps      []Dependency
+	Conflicts []Conflict
+}
+
+// Package is a named package with its available versions, newest first.
+type Package struct {
+	Name     string
+	versions []VersionDef
+}
+
+// Versions returns the package's version definitions ordered newest first.
+// The returned slice is owned by the package; callers must not mutate it.
+func (p *Package) Versions() []VersionDef { return p.versions }
+
+// NumVersions returns the number of available versions.
+func (p *Package) NumVersions() int { return len(p.versions) }
+
+// Newest returns the highest available version; the zero Version if the
+// package has none.
+func (p *Package) Newest() version.Version {
+	if len(p.versions) == 0 {
+		return version.Version{}
+	}
+	return p.versions[0].Version
+}
+
+// Universe is a catalog of packages that resolution requests are solved
+// against. The zero value is not usable; call New.
+type Universe struct {
+	pkgs map[string]*Package
+}
+
+// New returns an empty universe.
+func New() *Universe {
+	return &Universe{pkgs: make(map[string]*Package)}
+}
+
+// Add declares one (package, version) with its dependency and conflict
+// declarations. It panics on a malformed version string or a duplicate
+// (package, version) pair: universes are static catalogs built from
+// literals, and a silent overwrite would hide definition bugs.
+func (u *Universe) Add(pkg, ver string, decls ...Decl) {
+	v := version.MustParse(ver)
+	p := u.pkgs[pkg]
+	if p == nil {
+		p = &Package{Name: pkg}
+		u.pkgs[pkg] = p
+	}
+	def := VersionDef{Version: v}
+	for _, d := range decls {
+		switch d := d.(type) {
+		case Dependency:
+			def.Deps = append(def.Deps, d)
+		case Conflict:
+			def.Conflicts = append(def.Conflicts, d)
+		}
+	}
+	// Insert keeping newest-first order; reject duplicates.
+	i := sort.Search(len(p.versions), func(i int) bool {
+		return p.versions[i].Version.Compare(v) <= 0
+	})
+	if i < len(p.versions) && p.versions[i].Version.Equal(v) {
+		panic(fmt.Sprintf("repo: duplicate version %s@%s", pkg, ver))
+	}
+	p.versions = append(p.versions, VersionDef{})
+	copy(p.versions[i+1:], p.versions[i:])
+	p.versions[i] = def
+}
+
+// Package looks up a package by name.
+func (u *Universe) Package(name string) (*Package, bool) {
+	p, ok := u.pkgs[name]
+	return p, ok
+}
+
+// Names returns all package names in sorted order.
+func (u *Universe) Names() []string {
+	names := make([]string, 0, len(u.pkgs))
+	for n := range u.pkgs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumPackages returns the number of packages in the universe.
+func (u *Universe) NumPackages() int { return len(u.pkgs) }
+
+// NumVersions returns the total number of (package, version) pairs.
+func (u *Universe) NumVersions() int {
+	n := 0
+	for _, p := range u.pkgs {
+		n += len(p.versions)
+	}
+	return n
+}
+
+// Validate checks referential integrity: every dependency and conflict must
+// name a package that exists in the universe. A dependency range that no
+// version satisfies is NOT an error — it is a legitimate (unsatisfiable)
+// constraint the solver reports as such.
+func (u *Universe) Validate() error {
+	for _, name := range u.Names() {
+		p := u.pkgs[name]
+		for _, def := range p.versions {
+			for _, d := range def.Deps {
+				if _, ok := u.pkgs[d.Pkg]; !ok {
+					return fmt.Errorf("repo: %s@%s depends on unknown package %q",
+						name, def.Version, d.Pkg)
+				}
+			}
+			for _, c := range def.Conflicts {
+				if _, ok := u.pkgs[c.Pkg]; !ok {
+					return fmt.Errorf("repo: %s@%s conflicts with unknown package %q",
+						name, def.Version, c.Pkg)
+				}
+			}
+		}
+	}
+	return nil
+}

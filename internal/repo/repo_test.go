@@ -1,0 +1,153 @@
+package repo
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/version"
+)
+
+func TestAddOrdersNewestFirst(t *testing.T) {
+	u := New()
+	u.Add("zlib", "1.2.8")
+	u.Add("zlib", "1.2.11")
+	u.Add("zlib", "1.1")
+	p, ok := u.Package("zlib")
+	if !ok {
+		t.Fatal("zlib not found")
+	}
+	var got []string
+	for _, def := range p.Versions() {
+		got = append(got, def.Version.String())
+	}
+	want := []string{"1.2.11", "1.2.8", "1.1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("versions = %v, want %v", got, want)
+	}
+	if p.Newest().String() != "1.2.11" {
+		t.Errorf("Newest = %s", p.Newest())
+	}
+}
+
+func TestAddDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Add should panic")
+		}
+	}()
+	u := New()
+	u.Add("zlib", "1.2.8")
+	u.Add("zlib", "1.2.8")
+}
+
+func TestDeclsRecorded(t *testing.T) {
+	u := New()
+	u.Add("libdwarf", "20130729",
+		Dep("libelf", "0.8.12"),
+		Confl("mpich", ":"))
+	u.Add("libelf", "0.8.12")
+	u.Add("mpich", "3.0.4")
+	p, _ := u.Package("libdwarf")
+	def := p.Versions()[0]
+	if len(def.Deps) != 1 || def.Deps[0].Pkg != "libelf" {
+		t.Errorf("deps = %+v", def.Deps)
+	}
+	if !def.Deps[0].Range.Satisfies(version.MustParse("0.8.12")) {
+		t.Error("dep range should admit 0.8.12")
+	}
+	if len(def.Conflicts) != 1 || def.Conflicts[0].Pkg != "mpich" {
+		t.Errorf("conflicts = %+v", def.Conflicts)
+	}
+	if err := u.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateUnknownReferences(t *testing.T) {
+	u := New()
+	u.Add("a", "1.0", Dep("ghost", ":"))
+	if err := u.Validate(); err == nil {
+		t.Error("Validate should reject dependency on unknown package")
+	}
+	u2 := New()
+	u2.Add("a", "1.0", Confl("ghost", ":"))
+	if err := u2.Validate(); err == nil {
+		t.Error("Validate should reject conflict with unknown package")
+	}
+}
+
+func TestNamesAndCounts(t *testing.T) {
+	u, root := SynthDiamond(3, 4)
+	if root != "app" {
+		t.Errorf("root = %q", root)
+	}
+	// app + 3 mids + base
+	if got := u.NumPackages(); got != 5 {
+		t.Errorf("NumPackages = %d, want 5", got)
+	}
+	if got := u.NumVersions(); got != 20 {
+		t.Errorf("NumVersions = %d, want 20", got)
+	}
+	names := u.Names()
+	want := []string{"app", "base", "mid0", "mid1", "mid2"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("Names = %v, want %v", names, want)
+	}
+}
+
+func TestSynthGeneratorsValidateAndAreDeterministic(t *testing.T) {
+	type gen struct {
+		name  string
+		build func() (*Universe, string)
+	}
+	gens := []gen{
+		{"diamond", func() (*Universe, string) { return SynthDiamond(4, 5) }},
+		{"chain", func() (*Universe, string) { return SynthChain(8, 4) }},
+		{"dense", func() (*Universe, string) { return SynthDense(12, 4, 3, 7) }},
+		{"unsatweb", func() (*Universe, string) { return SynthUnsatWeb(4, 3) }},
+	}
+	for _, g := range gens {
+		u1, root1 := g.build()
+		u2, root2 := g.build()
+		if err := u1.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", g.name, err)
+		}
+		if root1 != root2 {
+			t.Errorf("%s: roots differ: %q vs %q", g.name, root1, root2)
+		}
+		if !reflect.DeepEqual(u1.Names(), u2.Names()) {
+			t.Errorf("%s: package sets differ between runs", g.name)
+		}
+		// Structural determinism: identical version lists and declarations.
+		for _, name := range u1.Names() {
+			p1, _ := u1.Package(name)
+			p2, _ := u2.Package(name)
+			if !reflect.DeepEqual(p1.Versions(), p2.Versions()) {
+				t.Errorf("%s: package %s differs between runs", g.name, name)
+			}
+		}
+	}
+}
+
+func TestSynthChainShape(t *testing.T) {
+	u, root := SynthChain(5, 3)
+	if root != "chain0" {
+		t.Errorf("root = %q", root)
+	}
+	if u.NumPackages() != 5 || u.NumVersions() != 15 {
+		t.Errorf("got %d pkgs %d versions", u.NumPackages(), u.NumVersions())
+	}
+	// Last link has no deps; first links have exactly one per version.
+	last, _ := u.Package("chain4")
+	for _, def := range last.Versions() {
+		if len(def.Deps) != 0 {
+			t.Errorf("chain4@%s should have no deps", def.Version)
+		}
+	}
+	first, _ := u.Package("chain0")
+	for _, def := range first.Versions() {
+		if len(def.Deps) != 1 || def.Deps[0].Pkg != "chain1" {
+			t.Errorf("chain0@%s deps = %+v", def.Version, def.Deps)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package repo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file contains deterministic synthetic universe generators used by
+// both the concretizer tests and the BenchmarkConcretize* benchmarks, so
+// future performance work has a stable workload trajectory to optimize
+// against. All generators are pure functions of their arguments: calling
+// one twice yields structurally identical universes.
+
+// synthVer renders the k-th version (1-based) of a synthetic package.
+func synthVer(k int) string { return fmt.Sprintf("%d.0", k) }
+
+// SynthDiamond builds a diamond-shaped universe: a root "app" depends on
+// `width` middle packages "mid0".."mid<width-1>", each of which depends on
+// a single shared "base". Every package has `versions` versions 1.0 ..
+// <versions>.0, and version k.0 of a parent requires its child at ":k", so
+// picking everything at its newest version is the unique optimum. Returns
+// the universe and the root package name.
+func SynthDiamond(width, versions int) (*Universe, string) {
+	if width < 1 || versions < 1 {
+		panic("repo: SynthDiamond requires width >= 1 and versions >= 1")
+	}
+	u := New()
+	for k := 1; k <= versions; k++ {
+		var appDecls []Decl
+		for m := 0; m < width; m++ {
+			appDecls = append(appDecls, Dep(fmt.Sprintf("mid%d", m), ":"+fmt.Sprint(k)))
+		}
+		u.Add("app", synthVer(k), appDecls...)
+		for m := 0; m < width; m++ {
+			u.Add(fmt.Sprintf("mid%d", m), synthVer(k), Dep("base", ":"+fmt.Sprint(k)))
+		}
+		u.Add("base", synthVer(k))
+	}
+	return u, "app"
+}
+
+// SynthChain builds a linear dependency chain "chain0" -> "chain1" -> ... ->
+// "chain<length-1>", each package with `versions` versions; version k.0 of
+// each link requires the next link at ":k". Deep chains exercise propagation
+// depth in the encoder and solver. Returns the universe and the root name.
+func SynthChain(length, versions int) (*Universe, string) {
+	if length < 1 || versions < 1 {
+		panic("repo: SynthChain requires length >= 1 and versions >= 1")
+	}
+	u := New()
+	for i := 0; i < length; i++ {
+		name := fmt.Sprintf("chain%d", i)
+		for k := 1; k <= versions; k++ {
+			var decls []Decl
+			if i+1 < length {
+				decls = append(decls, Dep(fmt.Sprintf("chain%d", i+1), ":"+fmt.Sprint(k)))
+			}
+			u.Add(name, synthVer(k), decls...)
+		}
+	}
+	return u, "chain0"
+}
+
+// SynthDense builds a version-dense DAG of `pkgs` packages "dense0"..,
+// each with `versions` versions. Each version of package i depends on up to
+// `depsPer` packages with a higher index, chosen by a seeded PRNG so the
+// shape is deterministic for a given seed. Ranges are mostly wide (":") with
+// an occasional tight upper bound to force version interplay; the universe
+// is always satisfiable. Returns the universe and the root name ("dense0").
+func SynthDense(pkgs, versions, depsPer int, seed int64) (*Universe, string) {
+	if pkgs < 1 || versions < 1 || depsPer < 0 {
+		panic("repo: SynthDense requires pkgs >= 1, versions >= 1, depsPer >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	u := New()
+	for i := 0; i < pkgs; i++ {
+		name := fmt.Sprintf("dense%d", i)
+		// Pick dependency targets once per package so every version agrees
+		// on the dependency set and differs only in ranges.
+		var targets []int
+		if i+1 < pkgs {
+			n := depsPer
+			if rem := pkgs - i - 1; n > rem {
+				n = rem
+			}
+			seen := map[int]bool{}
+			for len(targets) < n {
+				t := i + 1 + rng.Intn(pkgs-i-1)
+				if !seen[t] {
+					seen[t] = true
+					targets = append(targets, t)
+				}
+			}
+		}
+		tight := rng.Intn(4) == 0 // one in four packages constrains versions
+		for k := 1; k <= versions; k++ {
+			var decls []Decl
+			for _, t := range targets {
+				rngStr := ":"
+				if tight {
+					rngStr = ":" + fmt.Sprint(k)
+				}
+				decls = append(decls, Dep(fmt.Sprintf("dense%d", t), rngStr))
+			}
+			u.Add(name, synthVer(k), decls...)
+		}
+	}
+	return u, "dense0"
+}
+
+// SynthUnsatWeb builds an unsatisfiable universe: a root "app" depends on
+// `width` packages "web0".."web<width-1>" (any version), and every version
+// of each web package conflicts with every version of the next one in the
+// cycle. Since the root forces all of them to be installed, any width >= 2
+// is unsatisfiable; larger widths grow the conflict web the solver must
+// refute. Returns the universe and the root name.
+func SynthUnsatWeb(width, versions int) (*Universe, string) {
+	if width < 2 || versions < 1 {
+		panic("repo: SynthUnsatWeb requires width >= 2 and versions >= 1")
+	}
+	u := New()
+	var appDecls []Decl
+	for m := 0; m < width; m++ {
+		appDecls = append(appDecls, Dep(fmt.Sprintf("web%d", m), ":"))
+	}
+	for k := 1; k <= versions; k++ {
+		u.Add("app", synthVer(k), appDecls...)
+		for m := 0; m < width; m++ {
+			next := fmt.Sprintf("web%d", (m+1)%width)
+			u.Add(fmt.Sprintf("web%d", m), synthVer(k), Confl(next, ":"))
+		}
+	}
+	return u, "app"
+}

@@ -1,0 +1,110 @@
+package sat
+
+import "testing"
+
+// TestPBDuplicateLiteralMerging: duplicate literals in AddPB must merge
+// their weights into a single term.
+func TestPBDuplicateLiteralMerging(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	// 2a + 3a <= 4 merges to 5a <= 4, so a is forced false immediately.
+	if !s.AddPB([]PBTerm{{Lit(a), 2}, {Lit(a), 3}}, 4) {
+		t.Fatal("AddPB should succeed (constraint is satisfiable with a=false)")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if s.ValueOf(a) {
+		t.Error("a must be false: merged weight 5 exceeds k=4")
+	}
+	// Adding the requirement a makes it unsat.
+	if s.AddClause(Lit(a)) {
+		t.Error("AddClause(a) should fail against forced !a")
+	}
+
+	s2 := New()
+	b := s2.NewVar()
+	// 2b + 3b <= 5 merges to 5b <= 5: b may still be true.
+	s2.AddPB([]PBTerm{{Lit(b), 2}, {Lit(b), 3}}, 5)
+	s2.AddClause(Lit(b))
+	if got := s2.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat (merged weight exactly k)", got)
+	}
+	if !s2.ValueOf(b) {
+		t.Error("b should be true")
+	}
+}
+
+// TestPBAlreadyTrueAtLevelZero: literals already true at level 0 must count
+// toward sumTrue when the constraint is added, and force the remaining
+// too-heavy literals false right away.
+func TestPBAlreadyTrueAtLevelZero(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(Lit(a)) // a true at level 0 before the PB exists
+	// 4a + 3b + 1c <= 5: with a already true, slack is 1, so b is forced
+	// false at add time while c stays free.
+	if !s.AddPB([]PBTerm{{Lit(a), 4}, {Lit(b), 3}, {Lit(c), 1}}, 5) {
+		t.Fatal("AddPB should succeed")
+	}
+	if s.value(Lit(b)) != lFalse {
+		t.Error("b should be forced false immediately at level 0")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if s.ValueOf(b) {
+		t.Error("b must be false in the model")
+	}
+}
+
+// TestPBConflictInsideAddPB: a constraint already violated by level-0
+// assignments must make AddPB return false and poison the solver.
+func TestPBConflictInsideAddPB(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(Lit(a))
+	// 6a <= 5 is violated the moment it is added.
+	if s.AddPB([]PBTerm{{Lit(a), 6}}, 5) {
+		t.Fatal("AddPB should return false: constraint violated at level 0")
+	}
+	if s.Okay() {
+		t.Error("solver should be in the unsat state")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+}
+
+// TestPBConflictViaInitialPropagation: AddPB's own initial propagation can
+// collide with existing clauses; that conflict must surface as false too.
+func TestPBConflictViaInitialPropagation(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(Lit(a))
+	s.AddClause(Lit(b))
+	// With a true, b (weight 3, slack 1) is forced false by AddPB's initial
+	// propagation — contradicting the unit clause b.
+	if s.AddPB([]PBTerm{{Lit(a), 4}, {Lit(b), 3}}, 5) {
+		t.Fatal("AddPB should return false: forced !b contradicts clause b")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+}
+
+// TestPBNegativeLiterals: PB terms over negated literals propagate through
+// the same counter machinery.
+func TestPBNegativeLiterals(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	// !a + !b + !c <= 1: at least two of a,b,c must be true.
+	s.AddPB([]PBTerm{{Lit(a).Neg(), 1}, {Lit(b).Neg(), 1}, {Lit(c).Neg(), 1}}, 1)
+	s.AddClause(Lit(a).Neg())
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if !s.ValueOf(b) || !s.ValueOf(c) {
+		t.Error("with a false, both b and c must be true")
+	}
+}

@@ -1,0 +1,124 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReduceLearntsKeepsReasonClause is the regression test for the unsound
+// locked-clause check: a learnt clause whose implied literal is NOT at
+// lits[0] (watch-swapping in propagateLit can reorder lits) must still be
+// treated as locked while it is the reason for an assignment.
+func TestReduceLearntsKeepsReasonClause(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+
+	// Open a decision level and falsify a and c so that cl is unit on b.
+	s.trailLim = append(s.trailLim, len(s.trail))
+	if !s.enqueue(Lit(a).Neg(), reason{}) || !s.enqueue(Lit(c).Neg(), reason{}) {
+		t.Fatal("setup enqueue failed")
+	}
+	// cl implies b, but b sits at lits[1] — the layout watch-swapping can
+	// produce. The old check only looked at lits[0] (here: c, false) and
+	// would mark this reason clause deleted.
+	cl := &clause{lits: []Lit{Lit(c), Lit(b), Lit(a)}, learnt: true}
+	s.learnts = append(s.learnts, cl)
+	if !s.enqueue(Lit(b), reason{cl: cl}) {
+		t.Fatal("enqueue of implied literal failed")
+	}
+
+	// Pad the learnt DB with higher-activity clauses so cl lands in the
+	// to-be-deleted half.
+	for i := 0; i < 10; i++ {
+		x, y, z := s.NewVar(), s.NewVar(), s.NewVar()
+		s.learnts = append(s.learnts, &clause{
+			lits:     []Lit{Lit(x), Lit(y), Lit(z)},
+			learnt:   true,
+			activity: float64(i + 1),
+		})
+	}
+
+	s.reduceLearnts()
+
+	if cl.deleted {
+		t.Fatal("reduceLearnts deleted a clause currently serving as the reason for b")
+	}
+	if s.reasons[b].cl != cl {
+		t.Fatal("reason pointer for b was clobbered")
+	}
+}
+
+// TestReduceLearntsUnderHeavyLearning forces reduceLearnts to run nearly
+// every search step (learntBase=1) and cross-checks results against brute
+// force. With the unsound locked check, deleting an active reason clause
+// corrupts conflict analysis and yields wrong answers or panics.
+func TestReduceLearntsUnderHeavyLearning(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 80; iter++ {
+		nVars := 8 + rng.Intn(5) // 8..12
+		nClauses := int(4.3 * float64(nVars))
+		s := New()
+		s.learntBase = 1
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var cnf [][]Lit
+		for i := 0; i < nClauses; i++ {
+			var cl []Lit
+			for j := 0; j < 3; j++ {
+				v := 1 + rng.Intn(nVars)
+				l := Lit(v)
+				if rng.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				cl = append(cl, l)
+			}
+			cnf = append(cnf, cl)
+			s.AddClause(cl...)
+		}
+		want := bruteForceSat(nVars, cnf, nil)
+		got := s.Solve() == Sat
+		if got != want {
+			t.Fatalf("iter %d: solver=%v brute=%v cnf=%v", iter, got, want, cnf)
+		}
+		if got {
+			for _, cl := range cnf {
+				sat := false
+				for _, l := range cl {
+					v := s.ValueOf(l.Var())
+					if (l > 0 && v) || (l < 0 && !v) {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("iter %d: model violates clause %v", iter, cl)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceLearntsKeepsBinaryAndLocked checks the other keep conditions:
+// binary learnts and clauses outside the deletion half survive.
+func TestReduceLearntsKeepsBinaryAndLocked(t *testing.T) {
+	s := New()
+	x, y := s.NewVar(), s.NewVar()
+	bin := &clause{lits: []Lit{Lit(x), Lit(y)}, learnt: true}
+	s.learnts = append(s.learnts, bin)
+	for i := 0; i < 9; i++ {
+		a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+		s.learnts = append(s.learnts, &clause{
+			lits:     []Lit{Lit(a), Lit(b), Lit(c)},
+			learnt:   true,
+			activity: float64(i + 1),
+		})
+	}
+	s.reduceLearnts()
+	if bin.deleted {
+		t.Error("binary learnt clause must never be deleted")
+	}
+	if len(s.learnts) >= 10 {
+		t.Errorf("reduceLearnts kept %d of 10 clauses, expected deletions", len(s.learnts))
+	}
+}

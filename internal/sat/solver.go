@@ -1,10 +1,10 @@
 // Package sat implements a CDCL (conflict-driven clause learning) SAT
 // solver with pseudo-Boolean (weighted at-most-k) constraints.
 //
-// It is the search core underneath the ASP solver in internal/asp, playing
-// the role clasp plays underneath Clingo in Spack's concretizer: clauses
-// come from Clark completion of the ground program, cardinality bounds on
-// choice rules, lazily discovered loop nogoods, and branch-and-bound
+// It is the search core underneath the concretizer in internal/concretize,
+// playing the role clasp plays underneath Clingo in Spack's concretizer:
+// clauses come from the package-universe encoding (exactly-one version
+// selection, dependency implications, conflicts) and branch-and-bound
 // optimization constraints.
 //
 // The design follows MiniSat: two-literal watching, first-UIP conflict
@@ -115,7 +115,7 @@ type Solver struct {
 	pbOcc [][]int32 // literal index -> PB constraints watching that literal
 
 	// conflict analysis scratch
-	seen      []bool
+	seen       []bool
 	analyzeTmp []Lit
 
 	ok bool // false once a top-level conflict is found
@@ -128,13 +128,17 @@ type Solver struct {
 	// MaxConflicts bounds the search; <=0 means unbounded.
 	MaxConflicts int64
 
+	// learntBase is the constant part of the learnt-DB size limit that
+	// triggers reduceLearnts. Tests lower it to force heavy reduction.
+	learntBase int64
+
 	conflictBudget int64
 	model          []lbool
 }
 
 // New returns an empty solver.
 func New() *Solver {
-	s := &Solver{varInc: 1.0, ok: true}
+	s := &Solver{varInc: 1.0, ok: true, learntBase: 2000}
 	s.order = newVarHeap(&s.activity)
 	// index 0 unused
 	s.assigns = append(s.assigns, lUndef)
@@ -508,7 +512,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	restartNum := int64(1)
 	conflictsSinceRestart := int64(0)
 	restartLimit := luby(restartNum) * 100
-	learntLimit := int64(len(s.clauses)/3 + 2000)
+	learntLimit := int64(len(s.clauses)/3) + s.learntBase
 
 	for {
 		confl := s.propagate()
@@ -616,6 +620,19 @@ func (s *Solver) pickBranchVar() int {
 	return 0
 }
 
+// locked reports whether c is currently the reason for some assignment.
+// The implied literal is lits[0] at enqueue time, but watch-swapping in
+// propagateLit can reorder lits afterwards, so every literal must be
+// checked against the reason pointer of its variable, not just lits[0].
+func (s *Solver) locked(c *clause) bool {
+	for _, l := range c.lits {
+		if s.value(l) == lTrue && s.reasons[l.Var()].cl == c {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *Solver) reduceLearnts() {
 	// sort learnts ascending by activity (simple selection of half)
 	ls := s.learnts
@@ -624,12 +641,7 @@ func (s *Solver) reduceLearnts() {
 	keep := ls[:0]
 	half := len(ls) / 2
 	for i, c := range ls {
-		locked := false
-		// a clause is locked if it is the reason for a current assignment
-		if s.value(c.lits[0]) == lTrue && s.reasons[c.lits[0].Var()].cl == c {
-			locked = true
-		}
-		if i < half && len(c.lits) > 2 && !locked {
+		if i < half && len(c.lits) > 2 && !s.locked(c) {
 			c.deleted = true
 		} else {
 			keep = append(keep, c)

@@ -266,9 +266,9 @@ func (r Range) String() string {
 	return b.String()
 }
 
-// Intersects reports whether two ranges admit at least one common version
-// among the given candidates. It is a candidate-based check because prefix
-// semantics make symbolic intersection ambiguous.
+// IntersectsOver reports whether two ranges admit at least one common
+// version among the given candidates. It is a candidate-based check because
+// prefix semantics make symbolic intersection ambiguous.
 func (r Range) IntersectsOver(other Range, candidates []Version) bool {
 	for _, v := range candidates {
 		if r.Satisfies(v) && other.Satisfies(v) {

@@ -121,6 +121,56 @@ func TestRangeSatisfies(t *testing.T) {
 	}
 }
 
+// TestRangeSatisfiesPrefixSemantics pins down the Spack prefix semantics
+// from Table 1 of the paper: an exact constraint "@1.2" admits any 1.2.x,
+// and an upper bound ":1.4" admits any 1.4.x.
+func TestRangeSatisfiesPrefixSemantics(t *testing.T) {
+	cases := []struct {
+		rng, v string
+		want   bool
+	}{
+		// "@1.2" is a prefix constraint: 1.2.1 has prefix 1.2.
+		{"1.2", "1.2.1", true},
+		{"1.2", "1.2.0", true},
+		{"1.2", "1.20", false},  // 1.20 is not prefixed by 1.2
+		{"1.2", "1.1.2", false}, // ordering alone is not enough
+		{"1.2", "2.1.2", false},
+		// ":1.4" admits 1.4.8 via upper-bound prefix semantics even though
+		// 1.4.8 > 1.4 segment-wise.
+		{":1.4", "1.4.8", true},
+		{":1.4", "1.4", true},
+		{":1.4", "1.40", false},
+		{":1.4", "1.5.0", false},
+		// half-open lower bound has no prefix relaxation downward
+		{"1.4:", "1.4.8", true},
+		{"1.4:", "1.3.9", false},
+		// bounded range: both ends exercise prefix semantics
+		{"1.2:1.4", "1.2.0", true},
+		{"1.2:1.4", "1.4.8", true},
+		{"1.2:1.4", "1.5", false},
+	}
+	for _, c := range cases {
+		r := MustParseRange(c.rng)
+		if got := r.Satisfies(MustParse(c.v)); got != c.want {
+			t.Errorf("Range(%q).Satisfies(%q) = %v, want %v", c.rng, c.v, got, c.want)
+		}
+	}
+}
+
+// TestRangeInvertedErrors: a range whose lower bound orders above its upper
+// bound must be rejected at parse time.
+func TestRangeInvertedErrors(t *testing.T) {
+	for _, in := range []string{"2.0:1.0", "1.4.8:1.4", "1.10:1.9", "10:2"} {
+		if _, err := ParseRange(in); err == nil {
+			t.Errorf("ParseRange(%q): expected inverted-range error", in)
+		}
+	}
+	// Degenerate but valid: equal bounds.
+	if _, err := ParseRange("1.4:1.4"); err != nil {
+		t.Errorf("ParseRange(1.4:1.4): unexpected error %v", err)
+	}
+}
+
 func TestRangeParseErrors(t *testing.T) {
 	for _, in := range []string{"", "1.2:1.4:1.6", "2.0:1.0", "1..2"} {
 		if _, err := ParseRange(in); err == nil {
