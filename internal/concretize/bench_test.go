@@ -2,6 +2,7 @@ package concretize
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
@@ -40,6 +41,72 @@ func BenchmarkConcretizeChain(b *testing.B) {
 func BenchmarkConcretizeDense(b *testing.B) {
 	u, root := repo.SynthDense(40, 8, 3, 1)
 	benchConcretize(b, u, root)
+}
+
+// The BenchmarkSessionWarm* benchmarks measure the warm path over the same
+// dense universe as BenchmarkConcretizeDense, which is their cold
+// baseline:
+//
+//   - WarmHit: repeat request against a caching Session — a cache lookup
+//     plus a picks-map copy, no solver contact.
+//   - WarmMiss: cache disabled, so every iteration re-runs branch-and-bound
+//     on the shared solver — re-encoding is skipped and learnt clauses,
+//     VSIDS activity, and saved phases carry over.
+//   - WarmMissRotate: cache disabled and the root rotates, so iterations
+//     cannot ride phase-saving toward an already-found model.
+
+func benchSessionWarm(b *testing.B, cacheSize int, rootFor func(i int) []Root) {
+	b.Helper()
+	u, root := repo.SynthDense(40, 8, 3, 1)
+	sess := NewSession(u, SessionOptions{CacheSize: cacheSize})
+	// Prime: encode is done in NewSession; run one request so the warm
+	// state (and cache, if enabled) exists.
+	if _, err := sess.Resolve([]Root{{Pkg: root}}, Options{}); err != nil {
+		b.Fatalf("prime Resolve: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Resolve(rootFor(i), Options{})
+		if err != nil {
+			b.Fatalf("Resolve: %v", err)
+		}
+		if len(res.Picks) == 0 {
+			b.Fatal("empty resolution")
+		}
+	}
+}
+
+func BenchmarkSessionWarmHit(b *testing.B) {
+	roots := []Root{{Pkg: "dense0"}}
+	benchSessionWarm(b, 0, func(int) []Root { return roots })
+}
+
+func BenchmarkSessionWarmMiss(b *testing.B) {
+	roots := []Root{{Pkg: "dense0"}}
+	benchSessionWarm(b, -1, func(int) []Root { return roots })
+}
+
+func BenchmarkSessionWarmMissRotate(b *testing.B) {
+	pool := make([][]Root, 8)
+	for i := range pool {
+		pool[i] = []Root{{Pkg: fmt.Sprintf("dense%d", i)}}
+	}
+	benchSessionWarm(b, -1, func(i int) []Root { return pool[i%len(pool)] })
+}
+
+// BenchmarkSessionColdStart measures NewSession itself (fingerprint plus
+// whole-universe skeleton encoding) — the one-time cost a Session
+// amortizes across its lifetime.
+func BenchmarkSessionColdStart(b *testing.B) {
+	u, _ := repo.SynthDense(40, 8, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sess := NewSession(u, SessionOptions{})
+		if sess.Fingerprint() == "" {
+			b.Fatal("empty fingerprint")
+		}
+	}
 }
 
 func BenchmarkConcretizeUnsatWeb(b *testing.B) {

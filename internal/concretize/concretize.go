@@ -5,35 +5,48 @@
 // role clasp plays underneath Clingo in Spack, and this package plays the
 // role of the encoding that Spack lowers its package DSL into.
 //
-// Encoding. Each reachable package p gets an "installed" variable y_p and
-// one variable x_{p,v} per available version v:
+// Architecture. The encoder is split into a per-universe skeleton and a
+// per-request activation layer, both owned by Session — the long-lived
+// warm path that the one-shot Concretize entry point also runs through:
 //
-//   - x_{p,v} -> y_p and y_p -> OR_v x_{p,v} tie selection to installation;
-//   - an at-most-one pseudo-Boolean constraint over the x_{p,v} makes the
-//     selection exactly-one for installed packages;
-//   - each dependency (q, R) of (p, v) becomes the implication
-//     x_{p,v} -> OR {x_{q,w} : R.Satisfies(w)} (an empty disjunction
-//     forbids x_{p,v});
-//   - each conflict (q, R) of (p, v) becomes binary clauses
-//     !x_{p,v} | !x_{q,w} for every w of q inside R.
+//   - Skeleton (encoded once per Session, covering the whole universe):
+//     each package p gets an "installed" variable y_p and one variable
+//     x_{p,v} per available version v, with x_{p,v} -> y_p and
+//     y_p -> OR_v x_{p,v} tying selection to installation; an at-most-one
+//     pseudo-Boolean constraint over the x_{p,v} makes selection
+//     exactly-one for installed packages; each dependency (q, R) of (p, v)
+//     becomes the implication x_{p,v} -> OR {x_{q,w} : R.Satisfies(w)} (an
+//     empty disjunction forbids x_{p,v}); each conflict (q, R) becomes
+//     binary clauses !x_{p,v} | !x_{q,w} for every w of q inside R. With
+//     no roots asserted the skeleton is satisfied by installing nothing,
+//     so it can never drive the solver into a top-level conflict.
 //
-// Optimization. A weighted pseudo-Boolean objective prefers newest
-// versions and fewer installed packages, layered lexicographically in
-// Spack's root-first order: root version-lag dominates dependency
-// version-lag, which dominates install count. Concretize runs
-// branch-and-bound: solve,
-// record the model and its cost, then add a guarded tightening constraint
-// "guard -> objective <= cost-1" and re-solve under the assumption that the
-// guard holds, until the solver proves no cheaper model exists.
+//   - Activation (per request): each root (p, R) is represented by a reusable
+//     assumption literal a with permanent clauses a -> y_p and
+//     a -> OR {x_{p,v} : R.Satisfies(v)}. Solving under the assumption
+//     that the request's activation literals hold yields exactly the
+//     cold-path formula, while learnt clauses, VSIDS activity, and saved
+//     phases persist across requests.
+//
+// Optimization. A weighted pseudo-Boolean objective over the request's
+// reachable packages prefers newest versions and fewer installed packages,
+// layered lexicographically in Spack's root-first order: root version-lag
+// dominates dependency version-lag, which dominates install count. Each
+// request runs branch-and-bound: solve, record the model and its cost,
+// then add a guarded tightening constraint "guard -> objective <= cost-1"
+// and re-solve assuming the guard, until the solver proves no cheaper
+// model exists. Guards are retired afterwards (fixed false and their PB
+// constraints garbage-collected), so bounds from past requests never
+// constrain, slow down, or leak memory into future ones.
 package concretize
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
-	"github.com/paper-repo-growth/go-arxiv/internal/sat"
 	"github.com/paper-repo-growth/go-arxiv/internal/version"
 )
 
@@ -69,21 +82,31 @@ func MustParseRoot(s string) Root {
 	return r
 }
 
+// String renders the root in the spec syntax ParseRoot accepts: bare
+// package name for an unconstrained root, "pkg@range" otherwise.
+func (r Root) String() string {
+	if r.Range.IsAny() {
+		return r.Pkg
+	}
+	return r.Pkg + "@" + r.Range.String()
+}
+
 // Options tunes the concretization search.
 type Options struct {
-	// MaxConflicts bounds the total number of solver conflicts across all
-	// branch-and-bound iterations; <= 0 means unbounded.
+	// MaxConflicts bounds the number of solver conflicts spent on this
+	// request across all branch-and-bound iterations; <= 0 means unbounded.
 	MaxConflicts int64
 }
 
-// Stats reports search effort for one Concretize call.
+// Stats reports search effort for one resolution request.
 type Stats struct {
-	Packages     int   // reachable packages encoded
-	Variables    int   // solver variables allocated
+	Packages     int   // reachable packages in the request
+	Variables    int   // solver variables allocated (session-wide)
 	SolveCalls   int   // SAT solve invocations (including the final UNSAT proof)
 	Improvements int   // models found (first model plus each strict improvement)
 	Cost         int64 // objective value of the returned resolution
 	Optimal      bool  // false only when the conflict budget expired early
+	CacheHit     bool  // true when served from a Session's solution cache
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
@@ -100,7 +123,7 @@ type Resolution struct {
 var ErrUnsatisfiable = errors.New("concretize: unsatisfiable")
 
 // ErrBudget is returned (wrapped) when the conflict budget expires before
-// any model is found. If a model was already found, Concretize instead
+// any model is found. If a model was already found, the request instead
 // returns it with Stats.Optimal == false.
 var ErrBudget = errors.New("concretize: conflict budget exhausted")
 
@@ -111,17 +134,10 @@ type pkgVars struct {
 	vers      []int // x_{p,v}, parallel to pkg.Versions() (newest first)
 }
 
-// encoder lowers a universe fragment into the solver.
-type encoder struct {
-	u     *repo.Universe
-	s     *sat.Solver
-	vars  map[string]*pkgVars
-	order []string // deterministic BFS encoding order
-}
-
 // reachable collects every package reachable from the roots through any
 // version's dependencies (a conservative over-approximation: version choice
-// can only shrink the installed set).
+// can only shrink the installed set). The result scopes a request's
+// objective and decoded picks.
 func reachable(u *repo.Universe, roots []Root) ([]string, error) {
 	var order []string
 	seen := map[string]bool{}
@@ -143,7 +159,7 @@ func reachable(u *repo.Universe, roots []Root) ([]string, error) {
 		for _, def := range p.Versions() {
 			for _, d := range def.Deps {
 				if _, ok := u.Package(d.Pkg); !ok {
-					continue // encoded as an unbuildable version below
+					continue // encoded as an unbuildable version
 				}
 				if !seen[d.Pkg] {
 					seen[d.Pkg] = true
@@ -153,167 +169,6 @@ func reachable(u *repo.Universe, roots []Root) ([]string, error) {
 		}
 	}
 	return order, nil
-}
-
-// encode builds all variables and clauses. Clause additions may drive the
-// solver into the top-level unsat state; that is fine — Solve reports it.
-func (e *encoder) encode(roots []Root) {
-	// Variables and selection structure first, so dependency clauses can
-	// reference any reachable package.
-	for _, name := range e.order {
-		p, _ := e.u.Package(name)
-		pv := &pkgVars{pkg: p, installed: e.s.NewVar()}
-		for range p.Versions() {
-			pv.vers = append(pv.vers, e.s.NewVar())
-		}
-		e.vars[name] = pv
-
-		// x_{p,v} -> y_p, and y_p -> OR_v x_{p,v}.
-		orClause := []sat.Lit{sat.Lit(pv.installed).Neg()}
-		for _, x := range pv.vers {
-			e.s.AddClause(sat.Lit(x).Neg(), sat.Lit(pv.installed))
-			orClause = append(orClause, sat.Lit(x))
-		}
-		e.s.AddClause(orClause...)
-		// at-most-one version.
-		if len(pv.vers) > 1 {
-			terms := make([]sat.PBTerm, len(pv.vers))
-			for i, x := range pv.vers {
-				terms[i] = sat.PBTerm{Lit: sat.Lit(x), Weight: 1}
-			}
-			e.s.AddPB(terms, 1)
-		}
-	}
-
-	// Roots: the package must be installed at a version inside the range.
-	for _, r := range roots {
-		pv := e.vars[r.Pkg]
-		e.s.AddClause(sat.Lit(pv.installed))
-		allowed := []sat.Lit{}
-		for i, def := range pv.pkg.Versions() {
-			if r.Range.Satisfies(def.Version) {
-				allowed = append(allowed, sat.Lit(pv.vers[i]))
-			}
-		}
-		if len(allowed) == 0 {
-			// No version matches: force top-level unsat via the empty clause.
-			e.s.AddClause()
-			continue
-		}
-		e.s.AddClause(allowed...)
-	}
-
-	// Dependencies and conflicts per (package, version).
-	for _, name := range e.order {
-		pv := e.vars[name]
-		for i, def := range pv.pkg.Versions() {
-			xi := sat.Lit(pv.vers[i])
-			for _, d := range def.Deps {
-				qv, ok := e.vars[d.Pkg]
-				if !ok {
-					// Unknown dependency package: this version is unbuildable.
-					e.s.AddClause(xi.Neg())
-					continue
-				}
-				impl := []sat.Lit{xi.Neg()}
-				for j, qdef := range qv.pkg.Versions() {
-					if d.Range.Satisfies(qdef.Version) {
-						impl = append(impl, sat.Lit(qv.vers[j]))
-					}
-				}
-				e.s.AddClause(impl...) // empty disjunction forbids x_{p,v}
-			}
-			for _, c := range def.Conflicts {
-				qv, ok := e.vars[c.Pkg]
-				if !ok {
-					continue // conflict with a package that can never be installed
-				}
-				for j, qdef := range qv.pkg.Versions() {
-					if c.Range.Satisfies(qdef.Version) {
-						e.s.AddClause(xi.Neg(), sat.Lit(qv.vers[j]).Neg())
-					}
-				}
-			}
-		}
-	}
-}
-
-// objective returns the weighted PB terms of the optimization objective and
-// their total weight. The weights are layered lexicographically, mirroring
-// Spack's root-first optimization order:
-//
-//  1. root version-lag: one step away from a root's newest version weighs
-//     more than every dependency downgrade and install combined;
-//  2. dependency version-lag: one step weighs more than installing every
-//     reachable package, so the optimizer never downgrades a version just
-//     to drop an optional package;
-//  3. installed-package count (1 per y_p) breaks remaining ties in favor
-//     of smaller installs.
-func (e *encoder) objective(roots []Root) ([]sat.PBTerm, int64) {
-	isRoot := map[string]bool{}
-	for _, r := range roots {
-		isRoot[r.Pkg] = true
-	}
-	depStep := int64(len(e.order)) + 1
-	maxDepSum := int64(0)
-	for _, name := range e.order {
-		if !isRoot[name] {
-			maxDepSum += depStep * int64(len(e.vars[name].vers)-1)
-		}
-	}
-	rootStep := int64(len(e.order)) + maxDepSum + 1
-	var terms []sat.PBTerm
-	var total int64
-	for _, name := range e.order {
-		pv := e.vars[name]
-		step := depStep
-		if isRoot[name] {
-			step = rootStep
-		}
-		terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.installed), Weight: 1})
-		total++
-		for i := 1; i < len(pv.vers); i++ {
-			terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.vers[i]), Weight: int64(i) * step})
-			total += int64(i) * step
-		}
-	}
-	return terms, total
-}
-
-// cost evaluates the objective under the solver's current model.
-func (e *encoder) cost(terms []sat.PBTerm) int64 {
-	var c int64
-	for _, t := range terms {
-		if e.s.ValueOf(t.Lit.Var()) {
-			c += t.Weight
-		}
-	}
-	return c
-}
-
-// decode reads the current model into a picks map.
-func (e *encoder) decode() (map[string]version.Version, error) {
-	picks := make(map[string]version.Version)
-	for _, name := range e.order {
-		pv := e.vars[name]
-		if !e.s.ValueOf(pv.installed) {
-			continue
-		}
-		chosen := -1
-		for i, x := range pv.vers {
-			if e.s.ValueOf(x) {
-				if chosen >= 0 {
-					return nil, fmt.Errorf("concretize: internal error: %s selects two versions", name)
-				}
-				chosen = i
-			}
-		}
-		if chosen < 0 {
-			return nil, fmt.Errorf("concretize: internal error: %s installed without a version", name)
-		}
-		picks[name] = pv.pkg.Versions()[chosen].Version
-	}
-	return picks, nil
 }
 
 // verify cross-checks a decoded resolution directly against the universe,
@@ -369,92 +224,29 @@ func verify(u *repo.Universe, roots []Root, picks map[string]version.Version) er
 // wraps ErrUnsatisfiable when no assignment exists and ErrBudget when the
 // conflict budget expires before any model is found; a budget expiring
 // after a model was found returns that model with Stats.Optimal == false.
+//
+// Concretize is the cold path: it runs through a one-shot Session (with
+// the solution cache disabled and the skeleton scoped to the request's
+// reachable packages, so cost tracks the request rather than the catalog),
+// meaning there is exactly one encoder and the warm and cold paths cannot
+// drift apart. Callers answering a stream of requests over the same
+// universe should hold a Session instead.
 func Concretize(u *repo.Universe, roots []Root, opts Options) (*Resolution, error) {
 	if len(roots) == 0 {
 		return &Resolution{Picks: map[string]version.Version{}, Stats: Stats{Optimal: true}}, nil
 	}
-	order, err := reachable(u, roots)
+	scope, err := reachable(u, roots)
 	if err != nil {
 		return nil, err
 	}
-	e := &encoder{u: u, s: sat.New(), vars: map[string]*pkgVars{}, order: order}
-	e.s.MaxConflicts = opts.MaxConflicts
-	e.encode(roots)
-	objTerms, total := e.objective(roots)
-
-	stats := Stats{Packages: len(order)}
-	var best map[string]version.Version
-	var bestCost int64
-	var assumps []sat.Lit
-
-	for {
-		st := e.s.Solve(assumps...)
-		stats.SolveCalls++
-		switch st {
-		case sat.Unknown:
-			if best == nil {
-				return nil, fmt.Errorf("%w after %d conflicts", ErrBudget, e.s.Conflicts)
-			}
-			return finish(u, roots, e, best, bestCost, stats, false)
-		case sat.Unsat:
-			if best == nil {
-				return nil, fmt.Errorf("%w: roots %s", ErrUnsatisfiable, rootsString(roots))
-			}
-			return finish(u, roots, e, best, bestCost, stats, true)
-		}
-		picks, err := e.decode()
-		if err != nil {
-			return nil, err
-		}
-		best, bestCost = picks, e.cost(objTerms)
-		stats.Improvements++
-		if bestCost == 0 {
-			return finish(u, roots, e, best, bestCost, stats, true)
-		}
-		// Tighten: guard -> objective <= bestCost-1, then assume the guard.
-		// Encoded as objective + (total-bestCost+1)*guard <= total, which is
-		// vacuous while the guard is free, so the solver stays reusable.
-		// The previous round's guard is retired (fixed false) so superseded
-		// bounds stop feeding VSIDS and propagation.
-		if len(assumps) == 1 {
-			if !e.s.AddClause(assumps[0].Neg()) {
-				return finish(u, roots, e, best, bestCost, stats, true)
-			}
-		}
-		guard := e.s.NewVar()
-		terms := make([]sat.PBTerm, len(objTerms), len(objTerms)+1)
-		copy(terms, objTerms)
-		terms = append(terms, sat.PBTerm{Lit: sat.Lit(guard), Weight: total - bestCost + 1})
-		if !e.s.AddPB(terms, total) {
-			// Tightening is impossible at the top level: best is optimal.
-			return finish(u, roots, e, best, bestCost, stats, true)
-		}
-		assumps = []sat.Lit{sat.Lit(guard)}
-	}
-}
-
-func finish(u *repo.Universe, roots []Root, e *encoder, picks map[string]version.Version,
-	cost int64, stats Stats, optimal bool) (*Resolution, error) {
-	if err := verify(u, roots, picks); err != nil {
-		return nil, err
-	}
-	stats.Cost = cost
-	stats.Optimal = optimal
-	stats.Variables = e.s.NumVars()
-	stats.Conflicts = e.s.Conflicts
-	stats.Decisions = e.s.Decisions
-	stats.Propagations = e.s.Propagations
-	return &Resolution{Picks: picks, Stats: stats}, nil
+	sort.Strings(scope)
+	return newSession(u, scope, SessionOptions{CacheSize: -1}).Resolve(roots, opts)
 }
 
 func rootsString(roots []Root) string {
 	parts := make([]string, len(roots))
 	for i, r := range roots {
-		if r.Range.IsAny() {
-			parts[i] = r.Pkg
-		} else {
-			parts[i] = r.Pkg + "@" + r.Range.String()
-		}
+		parts[i] = r.String()
 	}
 	return strings.Join(parts, ", ")
 }

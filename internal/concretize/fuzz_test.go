@@ -1,0 +1,39 @@
+package concretize
+
+import "testing"
+
+// FuzzParseRoot: ParseRoot must never panic, never accept an empty package
+// name, and every accepted input must round-trip through Root.String to an
+// equivalent root with a stable rendering. The seed corpus lives under
+// testdata/fuzz/FuzzParseRoot.
+func FuzzParseRoot(f *testing.F) {
+	for _, seed := range []string{
+		"zlib", "zlib@1.2", "zlib@1.2:1.4", "zlib@:", "zlib@1.2:", "zlib@:1.4",
+		"hdf5@1.14", "a@b@1.2", "pkg-with-dash@2021.06.0", "x@0:9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRoot(s)
+		if err != nil {
+			return // rejected inputs only need to be crash-free
+		}
+		if r.Pkg == "" {
+			t.Fatalf("accepted empty package name from %q", s)
+		}
+		rendered := r.String()
+		r2, err := ParseRoot(rendered)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %q -> %q: %v", s, rendered, err)
+		}
+		if r2.Pkg != r.Pkg {
+			t.Fatalf("round-trip changed package: %q -> %q vs %q", s, r.Pkg, r2.Pkg)
+		}
+		if r2.Range.String() != r.Range.String() || r2.Range.IsAny() != r.Range.IsAny() {
+			t.Fatalf("round-trip changed range: %q -> %q vs %q", s, r.Range, r2.Range)
+		}
+		if again := r2.String(); again != rendered {
+			t.Fatalf("String unstable: %q -> %q -> %q", s, rendered, again)
+		}
+	})
+}

@@ -1,0 +1,594 @@
+package concretize
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+	"github.com/paper-repo-growth/go-arxiv/internal/sat"
+	"github.com/paper-repo-growth/go-arxiv/internal/version"
+)
+
+// DefaultSessionCacheSize is the solution-cache capacity used when
+// SessionOptions.CacheSize is zero.
+const DefaultSessionCacheSize = 1024
+
+// DefaultSessionMaxActivations is the activation-literal capacity used
+// when SessionOptions.MaxActivations is zero.
+const DefaultSessionMaxActivations = 4096
+
+// SessionOptions tunes a Session.
+type SessionOptions struct {
+	// CacheSize bounds the number of memoized resolutions (LRU eviction).
+	// Zero selects DefaultSessionCacheSize; a negative value disables the
+	// cache entirely, so every request runs the solver.
+	CacheSize int
+
+	// MaxActivations bounds the number of memoized root-activation
+	// literals (LRU eviction; evicted activations are fixed false in the
+	// solver and re-allocated on demand, so diverse request streams cannot
+	// grow solver variables without bound). Zero selects
+	// DefaultSessionMaxActivations; a negative value means unbounded.
+	MaxActivations int
+}
+
+// Session is a reusable concretization handle bound to one universe: the
+// warm path of the resolver. Creating a Session encodes the CNF skeleton
+// for the whole universe exactly once; each Resolve call then activates its
+// roots through assumption literals and runs branch-and-bound on the shared
+// solver, so learnt clauses, VSIDS activity, and saved phases accumulate
+// across requests instead of being rebuilt and discarded per call. Optimal
+// answers (and definitive unsatisfiability) are memoized in an LRU keyed by
+// (universe fingerprint, canonicalized roots), so repeat requests are
+// answered without touching the solver at all.
+//
+// A Session is safe for concurrent use: cache lookups take a read lock and
+// solver access is serialized. The universe must not be mutated after
+// NewSession.
+type Session struct {
+	u      *repo.Universe
+	fpOnce sync.Once
+	fp     string
+
+	// mu serializes all solver access (the encoding, activation literals,
+	// and the branch-and-bound loop all mutate solver state).
+	mu      sync.Mutex
+	solver  *sat.Solver
+	vars    map[string]*pkgVars
+	acts    map[string]*list.Element // canonical "pkg@range" -> activation entry
+	actsLRU *list.List               // of *actEntry, most-recently-used first
+	actsMax int
+
+	cacheMu sync.RWMutex
+	cache   *solutionCache // nil when disabled
+}
+
+// actEntry is one memoized root-activation literal.
+type actEntry struct {
+	key string
+	lit sat.Lit
+}
+
+// NewSession encodes the universe's CNF skeleton and returns a warm handle
+// for resolving requests against it.
+func NewSession(u *repo.Universe, opts SessionOptions) *Session {
+	return newSession(u, u.Names(), opts)
+}
+
+// newSession builds a session whose skeleton covers only the given
+// packages (sorted). Concretize uses this to scope its one-shot session to
+// the request's reachable set, so cold-path cost tracks the request, not
+// the catalog.
+func newSession(u *repo.Universe, names []string, opts SessionOptions) *Session {
+	se := &Session{
+		u:       u,
+		solver:  sat.New(),
+		vars:    make(map[string]*pkgVars),
+		acts:    make(map[string]*list.Element),
+		actsLRU: list.New(),
+		actsMax: opts.MaxActivations,
+	}
+	if se.actsMax == 0 {
+		se.actsMax = DefaultSessionMaxActivations
+	}
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultSessionCacheSize
+	}
+	if size > 0 {
+		se.cache = newSolutionCache(size)
+	}
+	se.encodeSkeleton(names)
+	return se
+}
+
+// Fingerprint returns the content hash of the bound universe (the universe
+// half of every cache key). It is computed lazily on first use, so
+// cache-disabled one-shot sessions never pay for it.
+func (se *Session) Fingerprint() string {
+	se.fpOnce.Do(func() { se.fp = se.u.Fingerprint() })
+	return se.fp
+}
+
+// CacheLen returns the number of memoized resolutions currently held.
+func (se *Session) CacheLen() int {
+	if se.cache == nil {
+		return 0
+	}
+	se.cacheMu.RLock()
+	defer se.cacheMu.RUnlock()
+	return se.cache.len()
+}
+
+// encodeSkeleton lowers the given packages into the solver once, in sorted
+// package order: installed/version variables, selection structure,
+// exactly-one constraints, dependency implications, and conflicts. Roots
+// are deliberately absent — they arrive per request as assumption literals
+// — so the skeleton with no assumptions is trivially satisfiable (install
+// nothing) and the solver can never be poisoned into a top-level conflict.
+// The name set must be dependency-closed (all of the universe, or a
+// reachability closure): a dependency on a package outside it is encoded
+// as unbuildable, and a conflict with one is vacuous.
+func (se *Session) encodeSkeleton(names []string) {
+	s := se.solver
+	for _, name := range names {
+		p, _ := se.u.Package(name)
+		pv := &pkgVars{pkg: p, installed: s.NewVar()}
+		for range p.Versions() {
+			pv.vers = append(pv.vers, s.NewVar())
+		}
+		se.vars[name] = pv
+
+		// x_{p,v} -> y_p, and y_p -> OR_v x_{p,v}.
+		orClause := []sat.Lit{sat.Lit(pv.installed).Neg()}
+		for _, x := range pv.vers {
+			s.AddClause(sat.Lit(x).Neg(), sat.Lit(pv.installed))
+			orClause = append(orClause, sat.Lit(x))
+		}
+		s.AddClause(orClause...)
+		// at-most-one version.
+		if len(pv.vers) > 1 {
+			terms := make([]sat.PBTerm, len(pv.vers))
+			for i, x := range pv.vers {
+				terms[i] = sat.PBTerm{Lit: sat.Lit(x), Weight: 1}
+			}
+			s.AddPB(terms, 1)
+		}
+	}
+
+	// Dependencies and conflicts per (package, version).
+	for _, name := range names {
+		pv := se.vars[name]
+		for i, def := range pv.pkg.Versions() {
+			xi := sat.Lit(pv.vers[i])
+			for _, d := range def.Deps {
+				qv, ok := se.vars[d.Pkg]
+				if !ok {
+					// Unknown dependency package: this version is unbuildable.
+					s.AddClause(xi.Neg())
+					continue
+				}
+				impl := []sat.Lit{xi.Neg()}
+				for j, qdef := range qv.pkg.Versions() {
+					if d.Range.Satisfies(qdef.Version) {
+						impl = append(impl, sat.Lit(qv.vers[j]))
+					}
+				}
+				s.AddClause(impl...) // empty disjunction forbids x_{p,v}
+			}
+			for _, c := range def.Conflicts {
+				qv, ok := se.vars[c.Pkg]
+				if !ok {
+					continue // conflict with a package that can never be installed
+				}
+				for j, qdef := range qv.pkg.Versions() {
+					if c.Range.Satisfies(qdef.Version) {
+						s.AddClause(xi.Neg(), sat.Lit(qv.vers[j]).Neg())
+					}
+				}
+			}
+		}
+	}
+}
+
+// activation returns the assumption literal enforcing one root constraint,
+// allocating it and its clauses on first use. The clauses are permanent
+// implications (a -> installed, a -> one allowed version), vacuous while a
+// is unassumed, so repeat requests for the same root reuse both the
+// literal and any clauses the solver learnt about it.
+func (se *Session) activation(r Root) sat.Lit {
+	key := r.Pkg + "@" + r.Range.String()
+	if el, ok := se.acts[key]; ok {
+		se.actsLRU.MoveToFront(el)
+		return el.Value.(*actEntry).lit
+	}
+	pv := se.vars[r.Pkg]
+	a := sat.Lit(se.solver.NewVar())
+	se.solver.AddClause(a.Neg(), sat.Lit(pv.installed))
+	allowed := []sat.Lit{a.Neg()}
+	for i, def := range pv.pkg.Versions() {
+		if r.Range.Satisfies(def.Version) {
+			allowed = append(allowed, sat.Lit(pv.vers[i]))
+		}
+	}
+	// With no matching version this is the unit clause !a: the root is
+	// permanently unsatisfiable, without poisoning the solver.
+	se.solver.AddClause(allowed...)
+	se.acts[key] = se.actsLRU.PushFront(&actEntry{key: key, lit: a})
+	return a
+}
+
+// evictActivations trims the activation memo to its capacity, skipping the
+// pinned literals of the in-flight request. An evicted activation is fixed
+// false, permanently deactivating its implication clauses; a later request
+// for the same root spec simply allocates a fresh literal, so eviction
+// trades a little re-encoding for a hard bound on per-spec solver growth.
+func (se *Session) evictActivations(pinned map[sat.Lit]bool) {
+	if se.actsMax < 0 {
+		return
+	}
+	for el := se.actsLRU.Back(); el != nil && len(se.acts) > se.actsMax; {
+		prev := el.Prev()
+		ent := el.Value.(*actEntry)
+		if !pinned[ent.lit] {
+			se.solver.AddClause(ent.lit.Neg())
+			se.actsLRU.Remove(el)
+			delete(se.acts, ent.key)
+		}
+		el = prev
+	}
+}
+
+// canonicalRootParts renders the roots in canonical form: "pkg@range"
+// strings, sorted and deduplicated. Root order and duplicates never change
+// the meaning of a request, so canonicalization maximizes cache hits and
+// keeps assumption order deterministic.
+func canonicalRootParts(roots []Root) []string {
+	parts := make([]string, len(roots))
+	for i, r := range roots {
+		parts[i] = r.Pkg + "@" + r.Range.String()
+	}
+	sort.Strings(parts)
+	out := parts[:0]
+	for i, p := range parts {
+		if i == 0 || p != parts[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Resolve answers one concretization request on the warm path. The result
+// contract is identical to Concretize: optimal resolution, wrapped
+// ErrUnsatisfiable, or wrapped ErrBudget, with Stats.Optimal == false when
+// the conflict budget expired after a model was found. Stats.CacheHit marks
+// answers served from the solution cache. The returned Picks map is owned
+// by the caller.
+func (se *Session) Resolve(roots []Root, opts Options) (*Resolution, error) {
+	if len(roots) == 0 {
+		return &Resolution{Picks: map[string]version.Version{}, Stats: Stats{Optimal: true}}, nil
+	}
+	parts := canonicalRootParts(roots)
+	var key string
+	if se.cache != nil {
+		key = se.Fingerprint() + "\x00" + strings.Join(parts, "\x1f")
+	}
+	if res, err, ok := se.cacheGet(key, roots); ok {
+		return res, err
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	// Re-check under the solver lock: another goroutine may have just
+	// resolved and cached the same request.
+	if res, err, ok := se.cacheGet(key, roots); ok {
+		return res, err
+	}
+	res, err := se.solveLocked(roots, parts, opts)
+	se.cachePut(key, res, err)
+	return res, err
+}
+
+// solveLocked runs branch-and-bound for one request. Callers hold se.mu.
+func (se *Session) solveLocked(roots []Root, parts []string, opts Options) (*Resolution, error) {
+	order, err := reachable(se.u, roots)
+	if err != nil {
+		return nil, err
+	}
+
+	// Activation assumptions in canonical order (deduplicated roots map to
+	// one literal each).
+	byPart := make(map[string]Root, len(roots))
+	for _, r := range roots {
+		byPart[r.Pkg+"@"+r.Range.String()] = r
+	}
+	base := make([]sat.Lit, 0, len(parts))
+	pinned := make(map[sat.Lit]bool, len(parts))
+	for _, part := range parts {
+		a := se.activation(byPart[part])
+		base = append(base, a)
+		pinned[a] = true
+	}
+	se.evictActivations(pinned)
+
+	objTerms, total := se.objective(order, roots)
+
+	s := se.solver
+	stats := Stats{Packages: len(order)}
+	conflicts0, decisions0, props0 := s.Conflicts, s.Decisions, s.Propagations
+	if opts.MaxConflicts > 0 {
+		s.MaxConflicts = conflicts0 + opts.MaxConflicts
+	} else {
+		s.MaxConflicts = 0
+	}
+
+	var best map[string]version.Version
+	var bestCost int64
+	var guard sat.Lit
+	// Retire the active bound guard before every exit: the guard is fixed
+	// false and its PB constraint is dropped from the propagation
+	// structures, so superseded bounds from this request can never slow
+	// down or misprioritize future requests (and solver memory for bound
+	// constraints stays constant across the session's lifetime).
+	retire := func() {
+		if guard != 0 {
+			s.RetireGuard(guard)
+			guard = 0
+		}
+	}
+	defer retire()
+
+	assumps := append(make([]sat.Lit, 0, len(base)+1), base...)
+
+	finish := func(optimal bool) (*Resolution, error) {
+		if err := verify(se.u, roots, best); err != nil {
+			return nil, err
+		}
+		stats.Cost = bestCost
+		stats.Optimal = optimal
+		stats.Variables = s.NumVars()
+		stats.Conflicts = s.Conflicts - conflicts0
+		stats.Decisions = s.Decisions - decisions0
+		stats.Propagations = s.Propagations - props0
+		return &Resolution{Picks: best, Stats: stats}, nil
+	}
+
+	for {
+		st := s.SolveAssuming(assumps)
+		stats.SolveCalls++
+		switch st {
+		case sat.Unknown:
+			if best == nil {
+				return nil, fmt.Errorf("%w after %d conflicts", ErrBudget, s.Conflicts-conflicts0)
+			}
+			return finish(false)
+		case sat.Unsat:
+			if best == nil {
+				return nil, fmt.Errorf("%w: roots %s", ErrUnsatisfiable, rootsString(roots))
+			}
+			return finish(true)
+		}
+		picks, err := se.decode(order)
+		if err != nil {
+			return nil, err
+		}
+		best, bestCost = picks, se.cost(objTerms)
+		stats.Improvements++
+		if bestCost == 0 {
+			return finish(true)
+		}
+		// Tighten: guard -> objective <= bestCost-1, then assume the guard.
+		// Encoded as objective + (total-bestCost+1)*guard <= total, which is
+		// vacuous while the guard is free, so the solver stays reusable. The
+		// previous round's guard is retired first.
+		retire()
+		if !s.Okay() {
+			return finish(true)
+		}
+		g := sat.Lit(s.NewVar())
+		terms := make([]sat.PBTerm, len(objTerms), len(objTerms)+1)
+		copy(terms, objTerms)
+		terms = append(terms, sat.PBTerm{Lit: g, Weight: total - bestCost + 1})
+		if !s.AddPB(terms, total) {
+			// Tightening is impossible at the top level: best is optimal.
+			return finish(true)
+		}
+		guard = g
+		assumps = append(assumps[:len(base)], g)
+	}
+}
+
+// objective returns the weighted PB terms of the optimization objective
+// over the request's reachable packages and their total weight. The
+// weights are layered lexicographically, mirroring Spack's root-first
+// optimization order:
+//
+//  1. root version-lag: one step away from a root's newest version weighs
+//     more than every dependency downgrade and install combined;
+//  2. dependency version-lag: one step weighs more than installing every
+//     reachable package, so the optimizer never downgrades a version just
+//     to drop an optional package;
+//  3. installed-package count (1 per y_p) breaks remaining ties in favor
+//     of smaller installs.
+//
+// Skeleton variables outside the reachable set carry no weight and are
+// ignored by decode, so their (arbitrary) assignments never affect the
+// request's cost or picks: any model restricted to the reachable set
+// extends to a full model by leaving everything else uninstalled.
+func (se *Session) objective(order []string, roots []Root) ([]sat.PBTerm, int64) {
+	isRoot := map[string]bool{}
+	for _, r := range roots {
+		isRoot[r.Pkg] = true
+	}
+	depStep := int64(len(order)) + 1
+	maxDepSum := int64(0)
+	for _, name := range order {
+		if !isRoot[name] {
+			maxDepSum += depStep * int64(len(se.vars[name].vers)-1)
+		}
+	}
+	rootStep := int64(len(order)) + maxDepSum + 1
+	var terms []sat.PBTerm
+	var total int64
+	for _, name := range order {
+		pv := se.vars[name]
+		step := depStep
+		if isRoot[name] {
+			step = rootStep
+		}
+		terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.installed), Weight: 1})
+		total++
+		for i := 1; i < len(pv.vers); i++ {
+			terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.vers[i]), Weight: int64(i) * step})
+			total += int64(i) * step
+		}
+	}
+	return terms, total
+}
+
+// cost evaluates the objective under the solver's current model.
+func (se *Session) cost(terms []sat.PBTerm) int64 {
+	var c int64
+	for _, t := range terms {
+		if se.solver.ValueOf(t.Lit.Var()) {
+			c += t.Weight
+		}
+	}
+	return c
+}
+
+// decode reads the current model into a picks map, restricted to the
+// request's reachable packages.
+func (se *Session) decode(order []string) (map[string]version.Version, error) {
+	picks := make(map[string]version.Version)
+	for _, name := range order {
+		pv := se.vars[name]
+		if !se.solver.ValueOf(pv.installed) {
+			continue
+		}
+		chosen := -1
+		for i, x := range pv.vers {
+			if se.solver.ValueOf(x) {
+				if chosen >= 0 {
+					return nil, fmt.Errorf("concretize: internal error: %s selects two versions", name)
+				}
+				chosen = i
+			}
+		}
+		if chosen < 0 {
+			return nil, fmt.Errorf("concretize: internal error: %s installed without a version", name)
+		}
+		picks[name] = pv.pkg.Versions()[chosen].Version
+	}
+	return picks, nil
+}
+
+// cacheGet looks up a memoized answer. It returns copies the caller owns.
+func (se *Session) cacheGet(key string, roots []Root) (*Resolution, error, bool) {
+	if se.cache == nil {
+		return nil, nil, false
+	}
+	se.cacheMu.RLock()
+	ent, ok := se.cache.peek(key)
+	se.cacheMu.RUnlock()
+	if !ok {
+		return nil, nil, false
+	}
+	// Promote under the write lock (list mutation is not read-safe).
+	se.cacheMu.Lock()
+	se.cache.touch(key)
+	se.cacheMu.Unlock()
+	if ent.unsat {
+		return nil, fmt.Errorf("%w: roots %s", ErrUnsatisfiable, rootsString(roots)), true
+	}
+	picks := make(map[string]version.Version, len(ent.picks))
+	for p, v := range ent.picks {
+		picks[p] = v
+	}
+	stats := ent.stats
+	stats.CacheHit = true
+	return &Resolution{Picks: picks, Stats: stats}, nil, true
+}
+
+// cachePut memoizes definitive answers: optimal resolutions and proven
+// unsatisfiability. Budget-limited (non-optimal or Unknown) outcomes and
+// request errors are never cached.
+func (se *Session) cachePut(key string, res *Resolution, err error) {
+	if se.cache == nil {
+		return
+	}
+	ent := cacheEntry{}
+	switch {
+	case err == nil && res.Stats.Optimal:
+		picks := make(map[string]version.Version, len(res.Picks))
+		for p, v := range res.Picks {
+			picks[p] = v
+		}
+		ent.picks, ent.stats = picks, res.Stats
+	case err != nil && errors.Is(err, ErrUnsatisfiable):
+		ent.unsat = true
+	default:
+		return
+	}
+	se.cacheMu.Lock()
+	se.cache.put(key, ent)
+	se.cacheMu.Unlock()
+}
+
+// cacheEntry is one memoized answer: either an optimal resolution or a
+// proof of unsatisfiability.
+type cacheEntry struct {
+	picks map[string]version.Version
+	stats Stats
+	unsat bool
+}
+
+// solutionCache is a plain LRU over cache entries. Callers synchronize.
+type solutionCache struct {
+	max int
+	ll  *list.List
+	m   map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	ent cacheEntry
+}
+
+func newSolutionCache(max int) *solutionCache {
+	return &solutionCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *solutionCache) len() int { return len(c.m) }
+
+// peek returns the entry without promoting it.
+func (c *solutionCache) peek(key string) (cacheEntry, bool) {
+	if el, ok := c.m[key]; ok {
+		return el.Value.(*lruItem).ent, true
+	}
+	return cacheEntry{}, false
+}
+
+// touch promotes the entry to most-recently-used if still present.
+func (c *solutionCache) touch(key string) {
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+	}
+}
+
+func (c *solutionCache) put(key string, ent cacheEntry) {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruItem).ent = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruItem{key: key, ent: ent})
+	for len(c.m) > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruItem).key)
+	}
+}

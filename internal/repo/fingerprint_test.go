@@ -1,0 +1,109 @@
+package repo
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFingerprintStableAcrossAddOrder: the hash covers content, not build
+// order — versions are kept sorted, so interleaving Add calls differently
+// must not change it.
+func TestFingerprintStableAcrossAddOrder(t *testing.T) {
+	a := New()
+	a.Add("app", "2.0", Dep("lib", ":"))
+	a.Add("app", "1.0")
+	a.Add("lib", "1.0", Confl("app", "1"))
+
+	b := New()
+	b.Add("lib", "1.0", Confl("app", "1"))
+	b.Add("app", "1.0")
+	b.Add("app", "2.0", Dep("lib", ":"))
+
+	fa, fb := a.Fingerprint(), b.Fingerprint()
+	if fa != fb {
+		t.Errorf("fingerprints differ across Add order:\n a: %s\n b: %s", fa, fb)
+	}
+	if len(fa) != 64 || strings.Trim(fa, "0123456789abcdef") != "" {
+		t.Errorf("fingerprint %q is not lowercase sha256 hex", fa)
+	}
+}
+
+// TestFingerprintSensitive: any content change — extra version, different
+// range, dep vs conflict, renamed target — must change the hash.
+func TestFingerprintSensitive(t *testing.T) {
+	base := func() *Universe {
+		u := New()
+		u.Add("app", "1.0", Dep("lib", ":2"))
+		u.Add("lib", "1.0")
+		return u
+	}
+	fp := base().Fingerprint()
+
+	mutations := map[string]func() *Universe{
+		"extra version": func() *Universe {
+			u := base()
+			u.Add("lib", "2.0")
+			return u
+		},
+		"different range": func() *Universe {
+			u := New()
+			u.Add("app", "1.0", Dep("lib", ":3"))
+			u.Add("lib", "1.0")
+			return u
+		},
+		"dep becomes conflict": func() *Universe {
+			u := New()
+			u.Add("app", "1.0", Confl("lib", ":2"))
+			u.Add("lib", "1.0")
+			return u
+		},
+		"renamed package": func() *Universe {
+			u := New()
+			u.Add("app", "1.0", Dep("lib2", ":2"))
+			u.Add("lib2", "1.0")
+			return u
+		},
+	}
+	for name, build := range mutations {
+		if got := build().Fingerprint(); got == fp {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+	if got := base().Fingerprint(); got != fp {
+		t.Error("fingerprint not reproducible for identical content")
+	}
+}
+
+// TestSynthDenseConflictsDeterministic: the conflict-bearing generator is a
+// pure function of its arguments, degenerates to SynthDense at
+// conflictsPer == 0, and actually emits conflicts otherwise.
+func TestSynthDenseConflictsDeterministic(t *testing.T) {
+	u1, _ := SynthDenseConflicts(12, 4, 3, 2, 77)
+	u2, _ := SynthDenseConflicts(12, 4, 3, 2, 77)
+	if u1.Fingerprint() != u2.Fingerprint() {
+		t.Error("two builds with identical arguments differ")
+	}
+
+	plain, _ := SynthDense(12, 4, 3, 77)
+	zero, _ := SynthDenseConflicts(12, 4, 3, 0, 77)
+	if plain.Fingerprint() != zero.Fingerprint() {
+		t.Error("conflictsPer == 0 must reproduce SynthDense exactly")
+	}
+	if u1.Fingerprint() == plain.Fingerprint() {
+		t.Error("conflictsPer > 0 produced no observable conflicts")
+	}
+
+	conflicts := 0
+	for _, name := range u1.Names() {
+		p, _ := u1.Package(name)
+		for _, def := range p.Versions() {
+			conflicts += len(def.Conflicts)
+		}
+	}
+	if conflicts == 0 {
+		t.Error("expected at least one conflict declaration")
+	}
+	if err := u1.Validate(); err != nil {
+		t.Errorf("generated universe fails validation: %v", err)
+	}
+}

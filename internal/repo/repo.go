@@ -6,6 +6,8 @@
 package repo
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 
@@ -143,6 +145,33 @@ func (u *Universe) NumVersions() int {
 		n += len(p.versions)
 	}
 	return n
+}
+
+// Fingerprint returns a stable content hash of the universe: the SHA-256
+// (hex) of a canonical serialization covering every package name, its
+// versions newest-first, and each version's dependency and conflict
+// declarations with their ranges. Two universes built from the same
+// declarations hash identically regardless of Add order (version insertion
+// is sorted); any change to a name, version, range, or declaration order
+// within a version changes the hash. It is the universe half of the
+// solution-cache key in internal/concretize, so cached resolutions can
+// never be served against different catalog contents.
+func (u *Universe) Fingerprint() string {
+	h := sha256.New()
+	for _, name := range u.Names() {
+		p := u.pkgs[name]
+		fmt.Fprintf(h, "p %q\n", name)
+		for _, def := range p.versions {
+			fmt.Fprintf(h, "v %q\n", def.Version.String())
+			for _, d := range def.Deps {
+				fmt.Fprintf(h, "d %q %q\n", d.Pkg, d.Range.String())
+			}
+			for _, c := range def.Conflicts {
+				fmt.Fprintf(h, "c %q %q\n", c.Pkg, c.Range.String())
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Validate checks referential integrity: every dependency and conflict must

@@ -67,7 +67,34 @@ func SynthChain(length, versions int) (*Universe, string) {
 // shape is deterministic for a given seed. Ranges are mostly wide (":") with
 // an occasional tight upper bound to force version interplay; the universe
 // is always satisfiable. Returns the universe and the root name ("dense0").
+//
+// Because every dependency range is an upper bound (":" or ":k") and
+// raising a package's version only loosens the constraints on its
+// dependents' choices, any request over a SynthDense universe has a unique
+// optimal resolution: every reachable package at the newest version its
+// (maximized) parents allow. The differential test harness in
+// internal/concretize relies on this uniqueness to assert pick-for-pick
+// equality between independent solver runs.
 func SynthDense(pkgs, versions, depsPer int, seed int64) (*Universe, string) {
+	return synthDense(pkgs, versions, depsPer, 0, seed)
+}
+
+// SynthDenseConflicts is SynthDense plus seeded random conflict
+// declarations: each package gets up to `conflictsPer` conflicts, each
+// attached to one random version of the declaring package and forbidding a
+// random other package at versions >= a random floor. Conflict-bearing
+// universes may be unsatisfiable for some (or all) requests and generally
+// admit several co-optimal resolutions, so tests over them should compare
+// costs and verify validity rather than exact picks. With conflictsPer == 0
+// the result is identical to SynthDense for the same seed.
+func SynthDenseConflicts(pkgs, versions, depsPer, conflictsPer int, seed int64) (*Universe, string) {
+	if conflictsPer < 0 {
+		panic("repo: SynthDenseConflicts requires conflictsPer >= 0")
+	}
+	return synthDense(pkgs, versions, depsPer, conflictsPer, seed)
+}
+
+func synthDense(pkgs, versions, depsPer, conflictsPer int, seed int64) (*Universe, string) {
 	if pkgs < 1 || versions < 1 || depsPer < 0 {
 		panic("repo: SynthDense requires pkgs >= 1, versions >= 1, depsPer >= 0")
 	}
@@ -93,6 +120,21 @@ func SynthDense(pkgs, versions, depsPer int, seed int64) (*Universe, string) {
 			}
 		}
 		tight := rng.Intn(4) == 0 // one in four packages constrains versions
+		// Conflicts (SynthDenseConflicts only): each is attached to one
+		// version of this package and forbids another package at versions
+		// >= a random floor. The rng calls are gated so conflictsPer == 0
+		// reproduces SynthDense's exact stream for a given seed.
+		confls := make(map[int][]Conflict)
+		for c := 0; c < conflictsPer; c++ {
+			t := rng.Intn(pkgs)
+			from := 1 + rng.Intn(versions)
+			floor := 1 + rng.Intn(versions)
+			if t == i {
+				continue
+			}
+			confls[from] = append(confls[from],
+				Confl(fmt.Sprintf("dense%d", t), fmt.Sprintf("%d:", floor)))
+		}
 		for k := 1; k <= versions; k++ {
 			var decls []Decl
 			for _, t := range targets {
@@ -101,6 +143,9 @@ func SynthDense(pkgs, versions, depsPer int, seed int64) (*Universe, string) {
 					rngStr = ":" + fmt.Sprint(k)
 				}
 				decls = append(decls, Dep(fmt.Sprintf("dense%d", t), rngStr))
+			}
+			for _, cf := range confls[k] {
+				decls = append(decls, cf)
 			}
 			u.Add(name, synthVer(k), decls...)
 		}

@@ -21,7 +21,9 @@ type pbConstraint struct {
 func (p *pbConstraint) weightOf(l Lit) int64 { return p.wmap[l] }
 
 // AddPB adds the constraint sum(terms) <= k. Terms with non-positive
-// weights are rejected; duplicate literals are merged. Returns false if the
+// weights are rejected; duplicate literals are merged. Literal order inside
+// the constraint follows first appearance in terms, keeping propagation —
+// and therefore the whole search — deterministic. Returns false if the
 // solver becomes unsatisfiable at the top level.
 func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
 	if !s.ok {
@@ -31,6 +33,7 @@ func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
 		panic("sat: AddPB above decision level 0")
 	}
 	wmap := make(map[Lit]int64, len(terms))
+	order := make([]Lit, 0, len(terms))
 	for _, t := range terms {
 		if t.Weight <= 0 {
 			panic("sat: non-positive PB weight")
@@ -38,10 +41,14 @@ func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
 		if t.Lit == 0 || t.Lit.Var() > s.nVars {
 			panic("sat: bad PB literal")
 		}
+		if _, seen := wmap[t.Lit]; !seen {
+			order = append(order, t.Lit)
+		}
 		wmap[t.Lit] += t.Weight
 	}
 	p := &pbConstraint{wmap: wmap, k: k}
-	for l, w := range wmap {
+	for _, l := range order {
+		w := wmap[l]
 		p.lits = append(p.lits, l)
 		p.weights = append(p.weights, w)
 		if w > p.maxW {
@@ -56,8 +63,16 @@ func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
 		s.ok = false
 		return false
 	}
-	s.pbs = append(s.pbs, p)
-	pi := int32(len(s.pbs) - 1)
+	var pi int32
+	if n := len(s.pbFree); n > 0 {
+		pi = s.pbFree[n-1]
+		s.pbFree = s.pbFree[:n-1]
+		s.pbs[pi] = p
+	} else {
+		s.pbs = append(s.pbs, p)
+		pi = int32(len(s.pbs) - 1)
+	}
+	s.pbActive++
 	for _, l := range p.lits {
 		s.pbOcc[l.index()] = append(s.pbOcc[l.index()], pi)
 	}
@@ -75,6 +90,104 @@ func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
 		return false
 	}
 	return true
+}
+
+// RetireGuard permanently retires a guard literal used to activate a
+// temporary PB constraint (e.g. a branch-and-bound objective bound): it
+// fixes the guard false at the top level and garbage-collects every PB
+// constraint the falsified guard makes vacuous. Retired constraint slots
+// are recycled by later AddPB calls, so a solve loop that adds and retires
+// one guarded constraint per round runs in constant PB memory. Must be
+// called at decision level 0. Returns false if the solver is (or becomes)
+// unsatisfiable at the top level.
+//
+// Only constraints containing the positive guard whose remaining weights
+// sum to at most k are removed: with the guard false such a constraint can
+// never again propagate or conflict, so dropping it preserves the model
+// set, and clauses learnt while the guard was assumed all contain the
+// guard's negation and remain valid consequences of the fixed formula.
+// Constraints the falsified guard does not make vacuous — ones mentioning
+// the guard's negation (now permanently contributing weight), or ones the
+// guard's weight was not large enough to neutralize — are left attached
+// and stay enforced.
+func (s *Solver) RetireGuard(guard Lit) bool {
+	if s.decisionLevel() != 0 {
+		panic("sat: RetireGuard above decision level 0")
+	}
+	if guard == 0 || guard.Var() > s.nVars {
+		panic("sat: bad guard literal")
+	}
+	// removePB edits pbOcc lists, so snapshot this one first.
+	occ := append([]int32(nil), s.pbOcc[guard.index()]...)
+	for _, pi := range occ {
+		p := s.pbs[pi]
+		sumOther := int64(0)
+		for i := range p.lits {
+			if p.lits[i] != guard {
+				sumOther += p.weights[i]
+			}
+		}
+		if sumOther <= p.k {
+			s.removePB(pi)
+		}
+	}
+	if !s.ok {
+		return false
+	}
+	return s.AddClause(guard.Neg())
+}
+
+// removePB detaches PB constraint pi from all occurrence lists, clears any
+// stale reason references to it on the (level-0) trail, and recycles its
+// slot for future AddPB calls.
+func (s *Solver) removePB(pi int32) {
+	p := s.pbs[pi]
+	if p == nil {
+		return
+	}
+	for _, l := range p.lits {
+		occ := s.pbOcc[l.index()]
+		j := 0
+		for _, q := range occ {
+			if q != pi {
+				occ[j] = q
+				j++
+			}
+		}
+		s.pbOcc[l.index()] = occ[:j]
+	}
+	// Level-0 assignments may still name this constraint as their reason;
+	// conflict analysis never dereferences level-0 reasons, but clearing
+	// them keeps slot recycling airtight.
+	for _, l := range s.trail {
+		v := l.Var()
+		if s.reasons[v].pb == pi+1 {
+			s.reasons[v] = reason{}
+		}
+	}
+	s.pbs[pi] = nil
+	s.pbFree = append(s.pbFree, pi)
+	s.pbActive--
+}
+
+// ActivePBs returns the number of PB constraints currently attached to the
+// propagation structures (added and not retired).
+func (s *Solver) ActivePBs() int { return s.pbActive }
+
+// PBSlots returns the number of PB constraint slots ever allocated,
+// including recycled ones. A solve loop that retires its temporary
+// constraints keeps this bounded.
+func (s *Solver) PBSlots() int { return len(s.pbs) }
+
+// PBOccupancy returns the total length of all PB occurrence lists — the
+// per-assignment bookkeeping cost. Retiring a constraint removes its
+// occurrences, so this is a direct memory/time regression signal.
+func (s *Solver) PBOccupancy() int {
+	n := 0
+	for _, occ := range s.pbOcc {
+		n += len(occ)
+	}
+	return n
 }
 
 // propagatePB handles PB constraints after literal l became true. The sum

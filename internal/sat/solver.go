@@ -111,8 +111,10 @@ type Solver struct {
 	order    *varHeap
 
 	// PB constraints
-	pbs   []*pbConstraint
-	pbOcc [][]int32 // literal index -> PB constraints watching that literal
+	pbs      []*pbConstraint
+	pbOcc    [][]int32 // literal index -> PB constraints watching that literal
+	pbFree   []int32   // retired constraint slots available for reuse
+	pbActive int       // constraints added and not retired
 
 	// conflict analysis scratch
 	seen       []bool
@@ -494,6 +496,19 @@ func luby(i int64) int64 {
 			return luby(i - (1 << uint(k-1)) + 1)
 		}
 	}
+}
+
+// SolveAssuming searches for a model under the given assumption literals.
+// It is the incremental entry point: each call backtracks to decision
+// level 0 and searches again, reusing the learnt-clause database, VSIDS
+// activity, and saved phases accumulated by earlier calls on the same
+// solver — no fresh solver or re-encoding is needed between calls.
+// Assumptions are decided (in order) before any free variable; an Unsat
+// result means unsatisfiable under these assumptions, not necessarily
+// globally. On Sat, the model is retrievable via ValueOf until the next
+// solve or constraint addition.
+func (s *Solver) SolveAssuming(assumptions []Lit) Status {
+	return s.Solve(assumptions...)
 }
 
 // Solve searches for a model under the given assumptions. On Sat, the model

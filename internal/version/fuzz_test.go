@@ -1,0 +1,63 @@
+package version
+
+import "testing"
+
+// FuzzParseRange: ParseRange must never panic, and every accepted input
+// must round-trip — its String form reparses to an equivalent range with a
+// stable String. The seed corpus lives under testdata/fuzz/FuzzParseRange.
+func FuzzParseRange(f *testing.F) {
+	for _, seed := range []string{
+		"1.2", "1.2:1.4", ":", "1.2:", ":1.4", "develop", "2021.06.0",
+		"1.2.3-rc1", "1_2", "0:9", "1.beta:1.2", "00.01", ":" + "1.2.8",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRange(s)
+		if err != nil {
+			return // rejected inputs only need to be crash-free
+		}
+		str := r.String()
+		r2, err := ParseRange(str)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %q -> %q: %v", s, str, err)
+		}
+		if got := r2.String(); got != str {
+			t.Fatalf("String unstable: %q -> %q -> %q", s, str, got)
+		}
+		if r2.IsExact() != r.IsExact() || r2.IsAny() != r.IsAny() {
+			t.Fatalf("round-trip changed range kind for %q", s)
+		}
+		lo1, okLo1 := r.Lo()
+		lo2, okLo2 := r2.Lo()
+		hi1, okHi1 := r.Hi()
+		hi2, okHi2 := r2.Hi()
+		if okLo1 != okLo2 || okHi1 != okHi2 ||
+			(okLo1 && lo1.Compare(lo2) != 0) || (okHi1 && hi1.Compare(hi2) != 0) {
+			t.Fatalf("round-trip changed bounds for %q", s)
+		}
+	})
+}
+
+// FuzzParse: Parse must never panic, and accepted versions must reparse
+// from their String form to an equal value.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1.2.3", "develop", "1-2_3", "2021.06.0", "18446744073709551615", "0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return
+		}
+		v2, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %q -> %q: %v", s, v.String(), err)
+		}
+		if !v.Equal(v2) {
+			t.Fatalf("round-trip changed value: %q", s)
+		}
+	})
+}
