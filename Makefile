@@ -1,0 +1,39 @@
+GO ?= go
+BENCHTIME ?= 0.3s
+PR ?= pr3
+BENCH_JSON ?= BENCH_$(PR).json
+# The perf-trajectory suite: cold concretization, warm Session paths, and
+# the serving-tier portfolio. `make bench` runs it and records the numbers
+# in $(BENCH_JSON) so performance is tracked across PRs.
+BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver
+
+.PHONY: all build vet fmt test race bench fuzz-smoke
+
+all: fmt build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files need formatting"; exit 1; }
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -benchtime=$(BENCHTIME) -benchmem \
+		./internal/concretize/ ./resolve/ | tee .bench_raw.txt
+	./scripts/benchjson.sh $(PR) < .bench_raw.txt > $(BENCH_JSON)
+	@rm -f .bench_raw.txt
+	@echo "wrote $(BENCH_JSON)"
+
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz='^FuzzParse$$' -fuzztime=20s ./internal/version/
+	$(GO) test -run=NONE -fuzz='^FuzzParseRange$$' -fuzztime=20s ./internal/version/
+	$(GO) test -run=NONE -fuzz='^FuzzParseRoot$$' -fuzztime=20s ./internal/concretize/

@@ -1,6 +1,7 @@
 package concretize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -61,13 +62,13 @@ func benchSessionWarm(b *testing.B, cacheSize int, rootFor func(i int) []Root) {
 	sess := NewSession(u, SessionOptions{CacheSize: cacheSize})
 	// Prime: encode is done in NewSession; run one request so the warm
 	// state (and cache, if enabled) exists.
-	if _, err := sess.Resolve([]Root{{Pkg: root}}, Options{}); err != nil {
+	if _, err := sess.Resolve(context.Background(), []Root{{Pkg: root}}, Options{}); err != nil {
 		b.Fatalf("prime Resolve: %v", err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sess.Resolve(rootFor(i), Options{})
+		res, err := sess.Resolve(context.Background(), rootFor(i), Options{})
 		if err != nil {
 			b.Fatalf("Resolve: %v", err)
 		}

@@ -5,6 +5,24 @@
 // role clasp plays underneath Clingo in Spack, and this package plays the
 // role of the encoding that Spack lowers its package DSL into.
 //
+// Most callers should not import this package directly: the public serving
+// surface is the resolve package (version -> repo -> sat -> concretize ->
+// resolve), whose Resolver interface fronts one Session
+// (resolve.SessionResolver) or races several differently-configured ones
+// (resolve.PortfolioResolver). Within this package, Session is the
+// long-lived warm path and the direct Concretize function is the one-shot
+// convenience wrapper for scripts and tests that resolve a single request
+// and throw the state away.
+//
+// Requests carry a context.Context: cancellation (or a deadline) is mapped
+// onto the solver's asynchronous interrupt, so an in-flight solve stops
+// promptly and the Session remains reusable. What "best" means is
+// pluggable per request through the Objective interface — NewestVersion
+// (the default), MinimalChange against an installed repo.Profile, or
+// custom weights via ObjectiveFunc. Failures are typed: *UnsatError
+// (matching ErrUnsatisfiable and carrying the request's roots), ErrBudget,
+// and the request context's error for cancellations.
+//
 // Architecture. The encoder is split into a per-universe skeleton and a
 // per-request activation layer, both owned by Session — the long-lived
 // warm path that the one-shot Concretize entry point also runs through:
@@ -41,6 +59,7 @@
 package concretize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -96,6 +115,11 @@ type Options struct {
 	// MaxConflicts bounds the number of solver conflicts spent on this
 	// request across all branch-and-bound iterations; <= 0 means unbounded.
 	MaxConflicts int64
+
+	// Objective ranks satisfying resolutions; nil selects DefaultObjective
+	// (NewestVersion). Objectives with different Keys never share cached
+	// answers.
+	Objective Objective
 }
 
 // Stats reports search effort for one resolution request.
@@ -118,14 +142,44 @@ type Resolution struct {
 	Stats Stats
 }
 
-// ErrUnsatisfiable is returned (wrapped) when no assignment satisfies the
-// request.
+// ErrUnsatisfiable is the sentinel matched (via errors.Is) by every
+// *UnsatError; keep matching against it rather than the concrete type when
+// only the yes/no answer matters.
 var ErrUnsatisfiable = errors.New("concretize: unsatisfiable")
 
 // ErrBudget is returned (wrapped) when the conflict budget expires before
 // any model is found. If a model was already found, the request instead
 // returns it with Stats.Optimal == false.
 var ErrBudget = errors.New("concretize: conflict budget exhausted")
+
+// UnsatError reports that no assignment satisfies the request, carrying
+// the roots that were proven incompatible so serving layers can surface
+// which request failed without string-parsing. It matches ErrUnsatisfiable
+// under errors.Is.
+type UnsatError struct {
+	Roots []Root
+}
+
+// Error implements error.
+func (e *UnsatError) Error() string {
+	return "concretize: unsatisfiable: roots " + rootsString(e.Roots)
+}
+
+// Is reports sentinel equivalence: errors.Is(err, ErrUnsatisfiable)
+// matches any *UnsatError.
+func (e *UnsatError) Is(target error) bool { return target == ErrUnsatisfiable }
+
+// unsatError builds an *UnsatError owning a copy of the roots.
+func unsatError(roots []Root) error {
+	return &UnsatError{Roots: append([]Root(nil), roots...)}
+}
+
+// canceledError wraps the request context's error (context.Canceled or
+// context.DeadlineExceeded pass through errors.Is) after an interrupted
+// solve.
+func canceledError(err error) error {
+	return fmt.Errorf("concretize: request canceled: %w", err)
+}
 
 // pkgVars holds the solver variables for one encoded package.
 type pkgVars struct {
@@ -219,18 +273,20 @@ func verify(u *repo.Universe, roots []Root, picks map[string]version.Version) er
 	return nil
 }
 
-// Concretize resolves the requested roots against the universe, returning
-// the optimal (newest-version-preferring, minimal-install) resolution. It
-// wraps ErrUnsatisfiable when no assignment exists and ErrBudget when the
+// Concretize is the one-shot convenience wrapper around the resolution
+// stack: it resolves the requested roots against the universe under
+// context.Background and the request's objective (DefaultObjective when
+// opts.Objective is nil), then discards all solver state. It returns a
+// *UnsatError when no assignment exists and wraps ErrBudget when the
 // conflict budget expires before any model is found; a budget expiring
 // after a model was found returns that model with Stats.Optimal == false.
 //
-// Concretize is the cold path: it runs through a one-shot Session (with
-// the solution cache disabled and the skeleton scoped to the request's
-// reachable packages, so cost tracks the request rather than the catalog),
-// meaning there is exactly one encoder and the warm and cold paths cannot
-// drift apart. Callers answering a stream of requests over the same
-// universe should hold a Session instead.
+// Internally this is the cold path: one one-shot Session (solution cache
+// disabled, skeleton scoped to the request's reachable packages, so cost
+// tracks the request rather than the catalog), meaning there is exactly
+// one encoder and the warm and cold paths cannot drift apart. Callers
+// answering a stream of requests over the same universe should hold a
+// Session — or, at the serving tier, a resolve.Resolver — instead.
 func Concretize(u *repo.Universe, roots []Root, opts Options) (*Resolution, error) {
 	if len(roots) == 0 {
 		return &Resolution{Picks: map[string]version.Version{}, Stats: Stats{Optimal: true}}, nil
@@ -240,7 +296,7 @@ func Concretize(u *repo.Universe, roots []Root, opts Options) (*Resolution, erro
 		return nil, err
 	}
 	sort.Strings(scope)
-	return newSession(u, scope, SessionOptions{CacheSize: -1}).Resolve(roots, opts)
+	return newSession(u, scope, SessionOptions{CacheSize: -1}).Resolve(context.Background(), roots, opts)
 }
 
 func rootsString(roots []Root) string {

@@ -1,6 +1,7 @@
 package concretize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -71,7 +72,7 @@ func runDifferentialStream(t *testing.T, rng *rand.Rand, u *repo.Universe, pkgs,
 		}
 
 		cold, coldErr := Concretize(u, roots, Options{})
-		warm, warmErr := sess.Resolve(roots, Options{})
+		warm, warmErr := sess.Resolve(context.Background(), roots, Options{})
 
 		if (coldErr == nil) != (warmErr == nil) {
 			t.Fatalf("roots %s: cold err %v, warm err %v", rootsString(roots), coldErr, warmErr)
@@ -154,7 +155,7 @@ func TestDifferentialUnsatWeb(t *testing.T) {
 		roots := []Root{{Pkg: root}}
 		for rep := 0; rep < 3; rep++ {
 			_, coldErr := Concretize(u, roots, Options{})
-			_, warmErr := sess.Resolve(roots, Options{})
+			_, warmErr := sess.Resolve(context.Background(), roots, Options{})
 			if !errors.Is(coldErr, ErrUnsatisfiable) || !errors.Is(warmErr, ErrUnsatisfiable) {
 				t.Fatalf("width %d rep %d: cold %v, warm %v", width, rep, coldErr, warmErr)
 			}

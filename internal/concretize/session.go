@@ -2,6 +2,7 @@ package concretize
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -34,6 +35,12 @@ type SessionOptions struct {
 	// grow solver variables without bound). Zero selects
 	// DefaultSessionMaxActivations; a negative value means unbounded.
 	MaxActivations int
+
+	// Solver tunes the underlying SAT search (branching polarity, restart
+	// schedule, objective-descent step). The zero value selects the
+	// defaults; differently-tuned Sessions return cost-identical answers,
+	// which is what lets a portfolio race them. See sat.Config.
+	Solver sat.Config
 }
 
 // Session is a reusable concretization handle bound to one universe: the
@@ -86,7 +93,7 @@ func NewSession(u *repo.Universe, opts SessionOptions) *Session {
 func newSession(u *repo.Universe, names []string, opts SessionOptions) *Session {
 	se := &Session{
 		u:       u,
-		solver:  sat.New(),
+		solver:  sat.NewWithConfig(opts.Solver),
 		vars:    make(map[string]*pkgVars),
 		acts:    make(map[string]*list.Element),
 		actsLRU: list.New(),
@@ -263,19 +270,36 @@ func canonicalRootParts(roots []Root) []string {
 }
 
 // Resolve answers one concretization request on the warm path. The result
-// contract is identical to Concretize: optimal resolution, wrapped
-// ErrUnsatisfiable, or wrapped ErrBudget, with Stats.Optimal == false when
-// the conflict budget expired after a model was found. Stats.CacheHit marks
-// answers served from the solution cache. The returned Picks map is owned
-// by the caller.
-func (se *Session) Resolve(roots []Root, opts Options) (*Resolution, error) {
+// contract is identical to Concretize: optimal resolution under the
+// request's objective, a *UnsatError, or a wrapped ErrBudget, with
+// Stats.Optimal == false when the conflict budget expired after a model
+// was found. Stats.CacheHit marks answers served from the solution cache.
+// The returned Picks map is owned by the caller.
+//
+// Canceling ctx (or passing one past its deadline) interrupts an in-flight
+// solve promptly — the context is checked between branch-and-bound rounds
+// and mapped onto the solver's asynchronous stop flag within rounds — and
+// returns an error matching ctx's cause (context.Canceled or
+// context.DeadlineExceeded). A canceled request never poisons the Session:
+// solver state stays consistent and the next Resolve proceeds normally.
+func (se *Session) Resolve(ctx context.Context, roots []Root, opts Options) (*Resolution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(roots) == 0 {
 		return &Resolution{Picks: map[string]version.Version{}, Stats: Stats{Optimal: true}}, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceledError(err)
+	}
 	parts := canonicalRootParts(roots)
+	obj := opts.Objective
+	if obj == nil {
+		obj = DefaultObjective
+	}
 	var key string
 	if se.cache != nil {
-		key = se.Fingerprint() + "\x00" + strings.Join(parts, "\x1f")
+		key = se.Fingerprint() + "\x00" + obj.Key() + "\x00" + strings.Join(parts, "\x1f")
 	}
 	if res, err, ok := se.cacheGet(key, roots); ok {
 		return res, err
@@ -283,20 +307,48 @@ func (se *Session) Resolve(roots []Root, opts Options) (*Resolution, error) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
 	// Re-check under the solver lock: another goroutine may have just
-	// resolved and cached the same request.
+	// resolved and cached the same request — and the wait for the lock may
+	// have outlived the caller's patience.
+	if err := ctx.Err(); err != nil {
+		return nil, canceledError(err)
+	}
 	if res, err, ok := se.cacheGet(key, roots); ok {
 		return res, err
 	}
-	res, err := se.solveLocked(roots, parts, opts)
+	res, err := se.solveLocked(ctx, roots, parts, obj, opts)
 	se.cachePut(key, res, err)
 	return res, err
 }
 
 // solveLocked runs branch-and-bound for one request. Callers hold se.mu.
-func (se *Session) solveLocked(roots []Root, parts []string, opts Options) (*Resolution, error) {
+func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string, obj Objective, opts Options) (*Resolution, error) {
 	order, err := reachable(se.u, roots)
 	if err != nil {
 		return nil, err
+	}
+
+	// Map context cancellation onto the solver's asynchronous interrupt so
+	// a solve stops mid-search, not just between rounds. The watcher is
+	// torn down — and the sticky interrupt flag cleared — before the solver
+	// lock is released, so a canceled request can never leak a stop signal
+	// into the next one.
+	if ctx.Done() != nil {
+		watcherStop := make(chan struct{})
+		var watcher sync.WaitGroup
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-ctx.Done():
+				se.solver.Interrupt()
+			case <-watcherStop:
+			}
+		}()
+		defer func() {
+			close(watcherStop)
+			watcher.Wait()
+			se.solver.ClearInterrupt()
+		}()
 	}
 
 	// Activation assumptions in canonical order (deduplicated roots map to
@@ -314,7 +366,10 @@ func (se *Session) solveLocked(roots []Root, parts []string, opts Options) (*Res
 	}
 	se.evictActivations(pinned)
 
-	objTerms, total := se.objective(order, roots)
+	objTerms, total, err := se.objectiveTerms(obj, order, roots)
+	if err != nil {
+		return nil, err
+	}
 
 	s := se.solver
 	stats := Stats{Packages: len(order)}
@@ -356,34 +411,75 @@ func (se *Session) solveLocked(roots []Root, parts []string, opts Options) (*Res
 		return &Resolution{Picks: best, Stats: stats}, nil
 	}
 
+	// Objective descent: the solver's configured step widens how far each
+	// tightening round reaches below the incumbent. lo tracks the proven
+	// lower bound on the optimal cost (an UNSAT answer under a guard at
+	// target proves optimum > target), so over-eager steps cost at most a
+	// few cheap incremental UNSAT rounds near the optimum and can never
+	// change the returned answer.
+	step := s.Config().DescentStep
+	var lo int64     // optimal cost is known to be >= lo
+	var target int64 // bound the active guard enforces (objective <= target)
+
 	for {
+		// A cancellation between rounds is cheaper to honor here than via
+		// the interrupt round-trip.
+		if err := ctx.Err(); err != nil {
+			return nil, canceledError(err)
+		}
 		st := s.SolveAssuming(assumps)
 		stats.SolveCalls++
 		switch st {
+		case sat.Canceled:
+			// The abandoned search's saved phases would pin the next
+			// request inside the subspace this one was exploring (for an
+			// interrupted refutation, a subspace the solver would have to
+			// finish refuting before escaping). Reset them; learnt clauses
+			// and activities stay.
+			s.ResetPhases()
+			cause := ctx.Err()
+			if cause == nil {
+				cause = context.Canceled
+			}
+			return nil, canceledError(cause)
 		case sat.Unknown:
+			// Budget expiry abandons the search mid-flight exactly like a
+			// cancellation does, and leaves the same phase-saving trap
+			// (see the sat.Canceled case); reset phases here too.
+			s.ResetPhases()
 			if best == nil {
 				return nil, fmt.Errorf("%w after %d conflicts", ErrBudget, s.Conflicts-conflicts0)
 			}
 			return finish(false)
 		case sat.Unsat:
 			if best == nil {
-				return nil, fmt.Errorf("%w: roots %s", ErrUnsatisfiable, rootsString(roots))
+				return nil, unsatError(roots)
 			}
-			return finish(true)
+			// UNSAT under the guard proves optimum > target.
+			lo = target + 1
+			if lo >= bestCost {
+				return finish(true)
+			}
+		case sat.Sat:
+			picks, err := se.decode(order)
+			if err != nil {
+				return nil, err
+			}
+			best, bestCost = picks, se.cost(objTerms)
+			stats.Improvements++
+			if bestCost <= lo {
+				return finish(true)
+			}
 		}
-		picks, err := se.decode(order)
-		if err != nil {
-			return nil, err
+		// Tighten: guard -> objective <= target, with target stepping down
+		// from the incumbent but never below the proven lower bound.
+		// Encoded as objective + (total-target)*guard <= total, which is
+		// vacuous while the guard is free, so the solver stays reusable.
+		// The previous round's guard is retired first.
+		target = bestCost - step
+		if target < lo {
+			target = lo
 		}
-		best, bestCost = picks, se.cost(objTerms)
-		stats.Improvements++
-		if bestCost == 0 {
-			return finish(true)
-		}
-		// Tighten: guard -> objective <= bestCost-1, then assume the guard.
-		// Encoded as objective + (total-bestCost+1)*guard <= total, which is
-		// vacuous while the guard is free, so the solver stays reusable. The
-		// previous round's guard is retired first.
 		retire()
 		if !s.Okay() {
 			return finish(true)
@@ -391,69 +487,92 @@ func (se *Session) solveLocked(roots []Root, parts []string, opts Options) (*Res
 		g := sat.Lit(s.NewVar())
 		terms := make([]sat.PBTerm, len(objTerms), len(objTerms)+1)
 		copy(terms, objTerms)
-		terms = append(terms, sat.PBTerm{Lit: g, Weight: total - bestCost + 1})
+		terms = append(terms, sat.PBTerm{Lit: g, Weight: total - target})
 		if !s.AddPB(terms, total) {
-			// Tightening is impossible at the top level: best is optimal.
-			return finish(true)
+			// Unreachable in practice (the guarded constraint is vacuous
+			// until assumed), kept as a safety net: tightening to
+			// bestCost-1 being impossible at the top level proves best
+			// optimal; a wider step proves nothing.
+			if target == bestCost-1 {
+				return finish(true)
+			}
+			return nil, fmt.Errorf("concretize: internal error: guarded bound %d rejected at top level", target)
 		}
 		guard = g
 		assumps = append(assumps[:len(base)], g)
 	}
 }
 
-// objective returns the weighted PB terms of the optimization objective
-// over the request's reachable packages and their total weight. The
-// weights are layered lexicographically, mirroring Spack's root-first
-// optimization order:
-//
-//  1. root version-lag: one step away from a root's newest version weighs
-//     more than every dependency downgrade and install combined;
-//  2. dependency version-lag: one step weighs more than installing every
-//     reachable package, so the optimizer never downgrades a version just
-//     to drop an optional package;
-//  3. installed-package count (1 per y_p) breaks remaining ties in favor
-//     of smaller installs.
+// objectiveTerms lowers an Objective's package costs into weighted PB
+// terms over the session's solver variables, returning the terms and
+// their total weight (the k of the guarded bound constraint). Install
+// costs weight y_p, Omit costs weight !y_p, and version costs weight
+// x_{p,v}; zero costs produce no term.
 //
 // Skeleton variables outside the reachable set carry no weight and are
 // ignored by decode, so their (arbitrary) assignments never affect the
 // request's cost or picks: any model restricted to the reachable set
 // extends to a full model by leaving everything else uninstalled.
-func (se *Session) objective(order []string, roots []Root) ([]sat.PBTerm, int64) {
-	isRoot := map[string]bool{}
-	for _, r := range roots {
-		isRoot[r.Pkg] = true
+func (se *Session) objectiveTerms(obj Objective, order []string, roots []Root) ([]sat.PBTerm, int64, error) {
+	costs, err := obj.Costs(ObjectiveRequest{Universe: se.u, Order: order, Roots: roots})
+	if err != nil {
+		return nil, 0, fmt.Errorf("concretize: objective %q: %w", obj.Key(), err)
 	}
-	depStep := int64(len(order)) + 1
-	maxDepSum := int64(0)
+	inOrder := make(map[string]bool, len(order))
 	for _, name := range order {
-		if !isRoot[name] {
-			maxDepSum += depStep * int64(len(se.vars[name].vers)-1)
+		inOrder[name] = true
+	}
+	for name := range costs {
+		if !inOrder[name] {
+			return nil, 0, fmt.Errorf("concretize: objective %q prices package %q outside the request's reachable set", obj.Key(), name)
 		}
 	}
-	rootStep := int64(len(order)) + maxDepSum + 1
 	var terms []sat.PBTerm
 	var total int64
 	for _, name := range order {
-		pv := se.vars[name]
-		step := depStep
-		if isRoot[name] {
-			step = rootStep
+		pc, ok := costs[name]
+		if !ok {
+			continue
 		}
-		terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.installed), Weight: 1})
-		total++
-		for i := 1; i < len(pv.vers); i++ {
-			terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.vers[i]), Weight: int64(i) * step})
-			total += int64(i) * step
+		pv := se.vars[name]
+		if pc.Install < 0 || pc.Omit < 0 {
+			return nil, 0, fmt.Errorf("concretize: objective %q: negative cost for %q", obj.Key(), name)
+		}
+		if pc.Version != nil && len(pc.Version) != len(pv.vers) {
+			return nil, 0, fmt.Errorf("concretize: objective %q: %d version costs for %q (%d versions)",
+				obj.Key(), len(pc.Version), name, len(pv.vers))
+		}
+		if pc.Install > 0 {
+			terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.installed), Weight: pc.Install})
+			total += pc.Install
+		}
+		if pc.Omit > 0 {
+			terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.installed).Neg(), Weight: pc.Omit})
+			total += pc.Omit
+		}
+		for i, w := range pc.Version {
+			if w < 0 {
+				return nil, 0, fmt.Errorf("concretize: objective %q: negative cost for %q", obj.Key(), name)
+			}
+			if w > 0 {
+				terms = append(terms, sat.PBTerm{Lit: sat.Lit(pv.vers[i]), Weight: w})
+				total += w
+			}
 		}
 	}
-	return terms, total
+	return terms, total, nil
 }
 
-// cost evaluates the objective under the solver's current model.
+// cost evaluates the objective under the solver's current model. Negative
+// literals (Omit terms) count when their variable is false.
 func (se *Session) cost(terms []sat.PBTerm) int64 {
 	var c int64
 	for _, t := range terms {
-		if se.solver.ValueOf(t.Lit.Var()) {
+		v := se.solver.ValueOf(t.Lit.Var())
+		if t.Lit < 0 {
+			v = !v
+		}
+		if v {
 			c += t.Weight
 		}
 	}
@@ -502,7 +621,7 @@ func (se *Session) cacheGet(key string, roots []Root) (*Resolution, error, bool)
 	se.cache.touch(key)
 	se.cacheMu.Unlock()
 	if ent.unsat {
-		return nil, fmt.Errorf("%w: roots %s", ErrUnsatisfiable, rootsString(roots)), true
+		return nil, unsatError(roots), true
 	}
 	picks := make(map[string]version.Version, len(ent.picks))
 	for p, v := range ent.picks {

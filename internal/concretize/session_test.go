@@ -1,6 +1,7 @@
 package concretize
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -37,7 +38,7 @@ func TestSessionMatchesColdCurated(t *testing.T) {
 	}
 	for i, roots := range requests {
 		cold, coldErr := Concretize(u, roots, Options{})
-		warm, warmErr := sess.Resolve(roots, Options{})
+		warm, warmErr := sess.Resolve(context.Background(), roots, Options{})
 		if (coldErr == nil) != (warmErr == nil) {
 			t.Fatalf("request %d: cold err %v, warm err %v", i, coldErr, warmErr)
 		}
@@ -63,7 +64,7 @@ func TestSessionCacheHit(t *testing.T) {
 	sess := NewSession(u, SessionOptions{})
 	roots := []Root{{Pkg: root}}
 
-	first, err := sess.Resolve(roots, Options{})
+	first, err := sess.Resolve(context.Background(), roots, Options{})
 	if err != nil {
 		t.Fatalf("Resolve: %v", err)
 	}
@@ -72,7 +73,7 @@ func TestSessionCacheHit(t *testing.T) {
 	}
 	decisions := sess.solver.Decisions
 
-	second, err := sess.Resolve(roots, Options{})
+	second, err := sess.Resolve(context.Background(), roots, Options{})
 	if err != nil {
 		t.Fatalf("repeat Resolve: %v", err)
 	}
@@ -89,7 +90,7 @@ func TestSessionCacheHit(t *testing.T) {
 	if sess.CacheLen() != 1 {
 		t.Fatalf("CacheLen = %d, want 1", sess.CacheLen())
 	}
-	dup, err := sess.Resolve([]Root{{Pkg: root}, {Pkg: root}}, Options{})
+	dup, err := sess.Resolve(context.Background(), []Root{{Pkg: root}, {Pkg: root}}, Options{})
 	if err != nil || !dup.Stats.CacheHit {
 		t.Errorf("duplicated roots missed the cache (err %v)", err)
 	}
@@ -97,7 +98,7 @@ func TestSessionCacheHit(t *testing.T) {
 	for k := range dup.Picks {
 		delete(dup.Picks, k)
 	}
-	again, err := sess.Resolve(roots, Options{})
+	again, err := sess.Resolve(context.Background(), roots, Options{})
 	if err != nil || !reflect.DeepEqual(pickStrings(first), pickStrings(again)) {
 		t.Error("cache entry was corrupted by caller mutation")
 	}
@@ -109,11 +110,11 @@ func TestSessionCachesUnsat(t *testing.T) {
 	u, root := repo.SynthUnsatWeb(4, 3)
 	sess := NewSession(u, SessionOptions{})
 	roots := []Root{{Pkg: root}}
-	if _, err := sess.Resolve(roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
+	if _, err := sess.Resolve(context.Background(), roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
 		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
 	}
 	decisions := sess.solver.Decisions
-	if _, err := sess.Resolve(roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
+	if _, err := sess.Resolve(context.Background(), roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
 		t.Fatalf("repeat err = %v, want ErrUnsatisfiable", err)
 	}
 	if sess.solver.Decisions != decisions {
@@ -126,10 +127,10 @@ func TestSessionCacheDisabled(t *testing.T) {
 	u, root := repo.SynthDense(12, 4, 2, 3)
 	sess := NewSession(u, SessionOptions{CacheSize: -1})
 	roots := []Root{{Pkg: root}}
-	if _, err := sess.Resolve(roots, Options{}); err != nil {
+	if _, err := sess.Resolve(context.Background(), roots, Options{}); err != nil {
 		t.Fatalf("Resolve: %v", err)
 	}
-	res, err := sess.Resolve(roots, Options{})
+	res, err := sess.Resolve(context.Background(), roots, Options{})
 	if err != nil {
 		t.Fatalf("repeat Resolve: %v", err)
 	}
@@ -144,7 +145,7 @@ func TestSessionLRUEviction(t *testing.T) {
 	u, _ := repo.SynthDense(8, 3, 1, 21)
 	sess := NewSession(u, SessionOptions{CacheSize: 2})
 	for _, pkg := range []string{"dense0", "dense1", "dense2", "dense3"} {
-		if _, err := sess.Resolve([]Root{{Pkg: pkg}}, Options{}); err != nil {
+		if _, err := sess.Resolve(context.Background(), []Root{{Pkg: pkg}}, Options{}); err != nil {
 			t.Fatalf("Resolve %s: %v", pkg, err)
 		}
 	}
@@ -153,7 +154,7 @@ func TestSessionLRUEviction(t *testing.T) {
 	}
 	// dense0 was evicted long ago; resolving it again is a miss.
 	decisions := sess.solver.Decisions
-	res, err := sess.Resolve([]Root{{Pkg: "dense0"}}, Options{})
+	res, err := sess.Resolve(context.Background(), []Root{{Pkg: "dense0"}}, Options{})
 	if err != nil {
 		t.Fatalf("Resolve dense0: %v", err)
 	}
@@ -170,17 +171,17 @@ func TestSessionBudgetIsPerRequest(t *testing.T) {
 	sess := NewSession(u, SessionOptions{CacheSize: -1})
 	roots := []Root{{Pkg: root}}
 	// Burn some lifetime conflicts first with an unbudgeted request.
-	if _, err := sess.Resolve(roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
+	if _, err := sess.Resolve(context.Background(), roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
 		t.Fatalf("err = %v, want ErrUnsatisfiable", err)
 	}
 	// A tiny budget must expire (the web needs many conflicts to refute
 	// from scratch — though the session's learnt clauses may help, one
 	// conflict is never enough) ...
-	if _, err := sess.Resolve(roots, Options{MaxConflicts: 1}); err == nil {
+	if _, err := sess.Resolve(context.Background(), roots, Options{MaxConflicts: 1}); err == nil {
 		t.Fatal("expected an error under a one-conflict budget")
 	}
 	// ... and a later unbudgeted request must be unaffected by it.
-	if _, err := sess.Resolve(roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
+	if _, err := sess.Resolve(context.Background(), roots, Options{}); !errors.Is(err, ErrUnsatisfiable) {
 		t.Fatalf("post-budget err = %v, want ErrUnsatisfiable", err)
 	}
 }
@@ -197,13 +198,13 @@ func TestSessionGuardRetirementBoundsSolverMemory(t *testing.T) {
 	skeletonOcc := sess.solver.PBOccupancy()
 	roots := []Root{{Pkg: root}}
 
-	if _, err := sess.Resolve(roots, Options{}); err != nil {
+	if _, err := sess.Resolve(context.Background(), roots, Options{}); err != nil {
 		t.Fatalf("Resolve: %v", err)
 	}
 	slotsAfterFirst := sess.solver.PBSlots()
 
 	for i := 0; i < 20; i++ {
-		if _, err := sess.Resolve(roots, Options{}); err != nil {
+		if _, err := sess.Resolve(context.Background(), roots, Options{}); err != nil {
 			t.Fatalf("request %d: %v", i, err)
 		}
 		if got := sess.solver.ActivePBs(); got != skeletonPBs {
@@ -267,7 +268,7 @@ func TestSessionConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				e := pool[(g*7+i)%len(pool)]
-				res, err := sess.Resolve(e.roots, Options{})
+				res, err := sess.Resolve(context.Background(), e.roots, Options{})
 				if e.unsat {
 					if !errors.Is(err, ErrUnsatisfiable) {
 						t.Errorf("goroutine %d: err = %v, want ErrUnsatisfiable", g, err)
@@ -312,7 +313,7 @@ func TestSessionActivationEviction(t *testing.T) {
 			t.Fatalf("cold %s: %v", spec, err)
 		}
 		cold[spec] = res
-		if _, err := sess.Resolve(roots, Options{}); err != nil {
+		if _, err := sess.Resolve(context.Background(), roots, Options{}); err != nil {
 			t.Fatalf("warm %s: %v", spec, err)
 		}
 		if got := len(sess.acts); got > 3 {
@@ -323,7 +324,7 @@ func TestSessionActivationEviction(t *testing.T) {
 	// require answers identical to cold (SynthDense optima are unique).
 	for _, spec := range specs {
 		roots := []Root{MustParseRoot(spec)}
-		res, err := sess.Resolve(roots, Options{})
+		res, err := sess.Resolve(context.Background(), roots, Options{})
 		if err != nil {
 			t.Fatalf("replay %s: %v", spec, err)
 		}
@@ -343,7 +344,7 @@ func TestSessionActivationEviction(t *testing.T) {
 	if err != nil {
 		t.Fatalf("cold wide: %v", err)
 	}
-	warmWide, err := sess.Resolve(roots, Options{})
+	warmWide, err := sess.Resolve(context.Background(), roots, Options{})
 	if err != nil {
 		t.Fatalf("warm wide: %v", err)
 	}
@@ -370,7 +371,7 @@ func TestSessionFingerprintMatchesUniverse(t *testing.T) {
 func TestSessionEmptyRoots(t *testing.T) {
 	u, _ := repo.SynthDense(4, 2, 1, 2)
 	sess := NewSession(u, SessionOptions{})
-	res, err := sess.Resolve(nil, Options{})
+	res, err := sess.Resolve(context.Background(), nil, Options{})
 	if err != nil || len(res.Picks) != 0 || !res.Stats.Optimal {
 		t.Errorf("got %+v, %v; want empty optimal resolution", res, err)
 	}
@@ -384,7 +385,7 @@ func TestSessionEmptyRoots(t *testing.T) {
 func TestSessionUnknownRoot(t *testing.T) {
 	u, _ := repo.SynthDense(4, 2, 1, 2)
 	sess := NewSession(u, SessionOptions{})
-	_, err := sess.Resolve([]Root{{Pkg: "ghost"}}, Options{})
+	_, err := sess.Resolve(context.Background(), []Root{{Pkg: "ghost"}}, Options{})
 	if err == nil || errors.Is(err, ErrUnsatisfiable) {
 		t.Fatalf("err = %v, want unknown-package error", err)
 	}

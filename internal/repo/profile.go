@@ -1,0 +1,80 @@
+package repo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/version"
+)
+
+// Profile is a snapshot of an installed system: which packages are present
+// and at which version. It is the input to change-minimizing objectives in
+// the concretizer (upgrade one root while touching as little of the
+// existing install as possible) and is an ordinary map, so callers can
+// build one from literals or from a previous resolution's picks.
+type Profile map[string]version.Version
+
+// ProfileOf copies a resolution's picks (or any package->version map) into
+// a Profile the caller owns.
+func ProfileOf(picks map[string]version.Version) Profile {
+	p := make(Profile, len(picks))
+	for name, v := range picks {
+		p[name] = v
+	}
+	return p
+}
+
+// Canonical renders the profile deterministically: "pkg@version" entries
+// sorted by package name, comma-joined. Two profiles with the same
+// contents always render identically.
+func (p Profile) Canonical() string {
+	parts := make([]string, 0, len(p))
+	for name, v := range p {
+		parts = append(parts, name+"@"+v.String())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Fingerprint returns a stable content hash (SHA-256, hex) of the
+// canonical rendering, suitable as the profile half of a cache key.
+func (p Profile) Fingerprint() string {
+	h := sha256.Sum256([]byte(p.Canonical()))
+	return hex.EncodeToString(h[:])
+}
+
+// Validate checks the profile against a universe: every named package must
+// exist. A version the catalog no longer carries is NOT an error — it is a
+// legitimate state for an install predating a catalog update; objectives
+// treat any re-pick of such a package as a change.
+func (p Profile) Validate(u *Universe) error {
+	for name := range p {
+		if _, ok := u.Package(name); !ok {
+			return fmt.Errorf("repo: profile names unknown package %q", name)
+		}
+	}
+	return nil
+}
+
+// VersionIndex returns the index of the profile's version of pkg within
+// the package's newest-first version list, or -1 when the package is not
+// in the profile or the version is no longer in the catalog.
+func (p Profile) VersionIndex(u *Universe, pkg string) int {
+	v, ok := p[pkg]
+	if !ok {
+		return -1
+	}
+	pk, ok := u.Package(pkg)
+	if !ok {
+		return -1
+	}
+	for i, def := range pk.Versions() {
+		if def.Version.Equal(v) {
+			return i
+		}
+	}
+	return -1
+}

@@ -153,6 +153,42 @@ func synthDense(pkgs, versions, depsPer, conflictsPer int, seed int64) (*Univers
 	return u, "dense0"
 }
 
+// SynthPigeonhole builds an unsatisfiable universe encoding the pigeonhole
+// principle: a root "nest" depends on `pigeons` packages "pigeon0"..; each
+// pigeon has pigeons-1 versions (its hole choice), and version h of pigeon
+// i conflicts with version h of every other pigeon. Any resolution of
+// "nest" would place `pigeons` pigeons into pigeons-1 distinct holes, so
+// the universe is unsatisfiable — and refuting it is exponentially hard
+// for clause-learning solvers, which makes this family the deterministic
+// long-running workload for cancellation and deadline tests (PHP with 11
+// pigeons runs for minutes; a single pigeon alone resolves instantly).
+// Returns the universe and the root name.
+func SynthPigeonhole(pigeons int) (*Universe, string) {
+	if pigeons < 2 {
+		panic("repo: SynthPigeonhole requires pigeons >= 2")
+	}
+	u := New()
+	holes := pigeons - 1
+	var nestDecls []Decl
+	for i := 0; i < pigeons; i++ {
+		nestDecls = append(nestDecls, Dep(fmt.Sprintf("pigeon%d", i), ":"))
+	}
+	u.Add("nest", "1.0", nestDecls...)
+	for i := 0; i < pigeons; i++ {
+		name := fmt.Sprintf("pigeon%d", i)
+		for h := 1; h <= holes; h++ {
+			var decls []Decl
+			for j := 0; j < pigeons; j++ {
+				if j != i {
+					decls = append(decls, Confl(fmt.Sprintf("pigeon%d", j), fmt.Sprintf("%d:%d", h, h)))
+				}
+			}
+			u.Add(name, synthVer(h), decls...)
+		}
+	}
+	return u, "nest"
+}
+
 // SynthUnsatWeb builds an unsatisfiable universe: a root "app" depends on
 // `width` packages "web0".."web<width-1>" (any version), and every version
 // of each web package conflicts with every version of the next one in the

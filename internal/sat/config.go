@@ -1,0 +1,45 @@
+package sat
+
+// Config tunes the search heuristics of one Solver. The zero value selects
+// the defaults the solver has always used, so Config{} and New() are
+// equivalent; every field only perturbs *how* the search explores the
+// space, never *what* is satisfiable, which is what makes differently
+// configured solvers safe to race against each other in a portfolio.
+type Config struct {
+	// PositiveFirst makes fresh variables branch on their positive literal
+	// first. The default (false) branches negative-first, which for the
+	// concretizer's encoding means "try not installing / not selecting"
+	// before committing to a version. Phase saving overrides the initial
+	// polarity as soon as a variable has been assigned once.
+	PositiveFirst bool
+
+	// RestartBase scales the Luby restart schedule: a restart fires after
+	// luby(i) * RestartBase conflicts. Smaller values restart aggressively
+	// (good on shuffled, conflict-heavy instances), larger values let deep
+	// dives run. Zero selects the default of 100.
+	RestartBase int64
+
+	// DescentStep is consumed by the branch-and-bound loop layered on top
+	// of this solver (internal/concretize): after finding a model of cost
+	// C it next asks for a model of cost <= C - DescentStep instead of
+	// C - 1, trading extra UNSAT rounds near the optimum for fewer SAT
+	// rounds far from it. The solver itself never reads it; it lives here
+	// so one Config describes a complete portfolio member. Zero selects 1
+	// (classic linear descent).
+	DescentStep int64
+}
+
+// DefaultRestartBase is the Luby restart multiplier used when
+// Config.RestartBase is zero.
+const DefaultRestartBase = 100
+
+// withDefaults resolves zero fields to their default values.
+func (c Config) withDefaults() Config {
+	if c.RestartBase <= 0 {
+		c.RestartBase = DefaultRestartBase
+	}
+	if c.DescentStep <= 0 {
+		c.DescentStep = 1
+	}
+	return c
+}

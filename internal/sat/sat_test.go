@@ -393,7 +393,8 @@ func TestLuby(t *testing.T) {
 }
 
 func TestStatusString(t *testing.T) {
-	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" ||
+		Canceled.String() != "CANCELED" {
 		t.Error("Status.String mismatch")
 	}
 }

@@ -12,7 +12,10 @@
 // phase saving, Luby restarts, and activity-based learnt-clause deletion.
 package sat
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Lit is a literal: +v for the positive literal of variable v, -v for its
 // negation. Variables are numbered from 1.
@@ -44,12 +47,18 @@ func (l Lit) index() int {
 type Status int
 
 const (
-	// Unknown means the solver gave up (budget exceeded).
+	// Unknown means the solver gave up because the conflict budget
+	// (MaxConflicts) was exhausted.
 	Unknown Status = iota
 	// Sat means a model was found.
 	Sat
 	// Unsat means no model exists under the given assumptions.
 	Unsat
+	// Canceled means the search was stopped by Interrupt before reaching
+	// an answer. It is distinct from Unknown so callers can tell "the
+	// budget ran out" from "someone asked us to stop" — a portfolio
+	// canceling losers must not be mistaken for a solver giving up.
+	Canceled
 )
 
 func (s Status) String() string {
@@ -58,6 +67,8 @@ func (s Status) String() string {
 		return "SAT"
 	case Unsat:
 		return "UNSAT"
+	case Canceled:
+		return "CANCELED"
 	default:
 		return "UNKNOWN"
 	}
@@ -136,11 +147,23 @@ type Solver struct {
 
 	conflictBudget int64
 	model          []lbool
+
+	cfg Config
+
+	// interrupted is the asynchronous stop flag set by Interrupt. It may
+	// be written from any goroutine while Solve runs on another; the
+	// search loop polls it and returns Canceled. It stays set until
+	// ClearInterrupt so a cancellation can never be lost between solves.
+	interrupted atomic.Bool
 }
 
-// New returns an empty solver.
-func New() *Solver {
-	s := &Solver{varInc: 1.0, ok: true, learntBase: 2000}
+// New returns an empty solver with the default configuration.
+func New() *Solver { return NewWithConfig(Config{}) }
+
+// NewWithConfig returns an empty solver tuned by cfg (zero fields select
+// defaults; see Config).
+func NewWithConfig(cfg Config) *Solver {
+	s := &Solver{varInc: 1.0, ok: true, learntBase: 2000, cfg: cfg.withDefaults()}
 	s.order = newVarHeap(&s.activity)
 	// index 0 unused
 	s.assigns = append(s.assigns, lUndef)
@@ -155,6 +178,40 @@ func New() *Solver {
 	return s
 }
 
+// Config returns the configuration the solver was created with, with
+// defaults resolved. Layers above the solver (branch-and-bound in
+// internal/concretize) read portfolio knobs like DescentStep from here.
+func (s *Solver) Config() Config { return s.cfg }
+
+// Interrupt asynchronously stops an in-flight Solve, which returns
+// Canceled at its next poll (per search-loop iteration, so promptly). It
+// is safe to call from any goroutine, before or during a solve, and is
+// sticky: every Solve returns Canceled until ClearInterrupt. Interrupting
+// leaves the solver fully consistent — clauses, learnts, activity, and
+// phases survive, so the same solver can serve the next request.
+func (s *Solver) Interrupt() { s.interrupted.Store(true) }
+
+// ClearInterrupt re-arms the solver after an Interrupt.
+func (s *Solver) ClearInterrupt() { s.interrupted.Store(false) }
+
+// Interrupted reports whether the stop flag is currently set.
+func (s *Solver) Interrupted() bool { return s.interrupted.Load() }
+
+// ResetPhases restores every variable's saved phase to the configured
+// initial polarity. Phase saving assumes the last search's trajectory is
+// worth resuming; after a search is abandoned mid-flight (Canceled, or a
+// budget expiry deep in a refutation) the saved phases instead pin the
+// next solve inside the abandoned — possibly unsatisfiable — subspace,
+// which it then must refute clause by clause before it can look anywhere
+// else. Callers that interrupt a solve should reset phases before reusing
+// the solver; learnt clauses and activities are kept (they remain valid
+// and useful).
+func (s *Solver) ResetPhases() {
+	for v := 1; v <= s.nVars; v++ {
+		s.polarity[v] = !s.cfg.PositiveFirst
+	}
+}
+
 // NewVar allocates a fresh variable and returns its number (>= 1).
 func (s *Solver) NewVar() int {
 	s.nVars++
@@ -163,7 +220,9 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.trailPos = append(s.trailPos, 0)
 	s.reasons = append(s.reasons, reason{})
-	s.polarity = append(s.polarity, true) // default phase: false (polarity true => assign -v first)
+	// Initial phase: polarity true => assign -v first. Negative-first is
+	// the default; Config.PositiveFirst flips it.
+	s.polarity = append(s.polarity, !s.cfg.PositiveFirst)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
@@ -512,7 +571,10 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 }
 
 // Solve searches for a model under the given assumptions. On Sat, the model
-// is retrievable via ValueOf until the next Solve or clause addition.
+// is retrievable via ValueOf until the next Solve or clause addition. It
+// returns Unknown when the MaxConflicts budget is exhausted and Canceled
+// when Interrupt stopped the search; both leave the solver consistent and
+// reusable.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	if !s.ok {
 		return Unsat
@@ -526,10 +588,17 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 	restartNum := int64(1)
 	conflictsSinceRestart := int64(0)
-	restartLimit := luby(restartNum) * 100
+	restartLimit := luby(restartNum) * s.cfg.RestartBase
 	learntLimit := int64(len(s.clauses)/3) + s.learntBase
 
 	for {
+		// Poll the asynchronous stop flag once per iteration (every
+		// propagation fixpoint / decision / conflict), so an Interrupt
+		// from another goroutine is honored within microseconds.
+		if s.interrupted.Load() {
+			s.cancelUntil(0)
+			return Canceled
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.Conflicts++
@@ -577,7 +646,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if conflictsSinceRestart >= restartLimit {
 			restartNum++
 			conflictsSinceRestart = 0
-			restartLimit = luby(restartNum) * 100
+			restartLimit = luby(restartNum) * s.cfg.RestartBase
 			s.cancelUntil(len(assumptions))
 			continue
 		}

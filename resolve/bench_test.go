@@ -1,0 +1,109 @@
+package resolve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+)
+
+// The BenchmarkPortfolio* benchmarks extend the repo's perf trajectory
+// (BenchmarkConcretize*, BenchmarkSessionWarm*) to the serving surface:
+// they measure full requests through the public Resolver backends over
+// the same deterministic dense universe, so `make bench` tracks the
+// serving path across PRs.
+
+func benchRequests(n int) []Request {
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Roots: []Root{{Pkg: fmt.Sprintf("dense%d", i%8)}}}
+	}
+	return reqs
+}
+
+// BenchmarkPortfolioDenseCold measures construction plus one request:
+// the portfolio's worst case (N skeleton encodes, no warm state).
+func BenchmarkPortfolioDenseCold(b *testing.B) {
+	u, root := repo.SynthDense(40, 8, 3, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := NewPortfolioResolver(u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Resolve(context.Background(), Request{Roots: []Root{{Pkg: root}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPortfolioWarmMiss measures steady-state serving with the
+// solution cache bypassed by rotating roots: each request races warm
+// members (cache disabled so the solvers actually run).
+func BenchmarkPortfolioWarmMiss(b *testing.B) {
+	u, _ := repo.SynthDense(40, 8, 3, 1)
+	noCache := DefaultPortfolio()
+	for i := range noCache {
+		noCache[i].Options.CacheSize = -1
+	}
+	p, err := NewPortfolioResolver(u, noCache...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchRequests(8)
+	// Warm the members once.
+	for _, r := range reqs {
+		if _, err := p.Resolve(context.Background(), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Resolve(context.Background(), reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPortfolioWarmHit measures the repeat-request fast path: every
+// member answers from its solution cache and the race is a cache sprint.
+func BenchmarkPortfolioWarmHit(b *testing.B) {
+	u, root := repo.SynthDense(40, 8, 3, 1)
+	p, err := NewPortfolioResolver(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := Request{Roots: []Root{{Pkg: root}}}
+	if _, err := p.Resolve(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Resolve(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionResolverWarmMiss is the single-backend baseline the
+// portfolio numbers are read against.
+func BenchmarkSessionResolverWarmMiss(b *testing.B) {
+	u, _ := repo.SynthDense(40, 8, 3, 1)
+	r := NewSessionResolver(u, SessionOptions{CacheSize: -1})
+	reqs := benchRequests(8)
+	for _, req := range reqs {
+		if _, err := r.Resolve(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Resolve(context.Background(), reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

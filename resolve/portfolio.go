@@ -1,0 +1,178 @@
+package resolve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+	"github.com/paper-repo-growth/go-arxiv/internal/sat"
+)
+
+// BackendConfig names one portfolio member: a Session configuration whose
+// solver knobs (branching polarity, restart schedule, objective-descent
+// step) give it a distinct search trajectory. Members never disagree on
+// answers — only on how fast they reach them on a given request shape.
+type BackendConfig struct {
+	Name    string
+	Options SessionOptions
+}
+
+// DefaultPortfolio returns the stock member set: complementary heuristics
+// so that whichever trajectory suits the request wins the race.
+func DefaultPortfolio() []BackendConfig {
+	return []BackendConfig{
+		// The defaults: negative-first branching ("install nothing extra"
+		// first), standard restarts, linear objective descent.
+		{Name: "baseline", Options: SessionOptions{}},
+		// Positive-first branching commits to installs early — strong when
+		// the optimum installs most of the reachable set.
+		{Name: "positive", Options: SessionOptions{Solver: sat.Config{PositiveFirst: true}}},
+		// Aggressive restarts plus a wide descent step: rushes the
+		// incumbent down on objective-heavy requests.
+		{Name: "dive", Options: SessionOptions{Solver: sat.Config{RestartBase: 40, DescentStep: 8}}},
+		// Patient restarts for deep refutations (unsat proofs, tight
+		// conflict webs).
+		{Name: "steady", Options: SessionOptions{Solver: sat.Config{RestartBase: 400, DescentStep: 2}}},
+	}
+}
+
+// PortfolioResolver races differently-configured Sessions over the same
+// universe on every request and returns the first definitive answer —
+// an optimal resolution or a proof of unsatisfiability — canceling the
+// remaining members through the solver interrupt. Each member's skeleton
+// is encoded once at construction and its solver state (learnt clauses,
+// caches) warms across requests, so the race's marginal cost is solver
+// time, not re-encoding.
+//
+// Budget-limited outcomes are not definitive: if a member returns a
+// non-optimal incumbent (or concretize.ErrBudget) while another later
+// proves an optimum, the optimum wins; the incumbent is returned only
+// when no member can do better.
+type PortfolioResolver struct {
+	members []portfolioMember
+}
+
+type portfolioMember struct {
+	name string
+	se   *concretize.Session
+}
+
+var _ Resolver = (*PortfolioResolver)(nil)
+
+// NewPortfolioResolver builds a portfolio over the universe from the
+// given configs (DefaultPortfolio when none are passed), encoding one
+// Session skeleton per member. Config names must be unique and non-empty.
+func NewPortfolioResolver(u *repo.Universe, configs ...BackendConfig) (*PortfolioResolver, error) {
+	if len(configs) == 0 {
+		configs = DefaultPortfolio()
+	}
+	seen := make(map[string]bool, len(configs))
+	p := &PortfolioResolver{}
+	for _, c := range configs {
+		if c.Name == "" {
+			return nil, fmt.Errorf("resolve: portfolio config with empty name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("resolve: duplicate portfolio config %q", c.Name)
+		}
+		seen[c.Name] = true
+		p.members = append(p.members, portfolioMember{
+			name: c.Name,
+			se:   concretize.NewSession(u, c.Options),
+		})
+	}
+	return p, nil
+}
+
+// Members returns the member configuration names, in racing order.
+func (p *PortfolioResolver) Members() []string {
+	names := make([]string, len(p.members))
+	for i, m := range p.members {
+		names[i] = m.name
+	}
+	return names
+}
+
+// outcome is one member's answer to one request.
+type outcome struct {
+	name string
+	res  *concretize.Resolution
+	err  error
+}
+
+// definitive reports whether the outcome settles the request: an optimal
+// resolution or a proven unsatisfiability. Budget-limited incumbents and
+// cancellations are not definitive.
+func (o outcome) definitive() bool {
+	if o.err != nil {
+		return errors.Is(o.err, concretize.ErrUnsatisfiable)
+	}
+	return o.res.Stats.Optimal
+}
+
+// Resolve implements Resolver: it fires the request into every member
+// concurrently, returns the first definitive answer, and cancels the
+// rest. All members are drained before returning, so a PortfolioResolver
+// is quiescent between calls and safe for concurrent use (each member
+// Session serializes its own solver).
+func (p *PortfolioResolver) Resolve(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	race, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	opts := concretize.Options{MaxConflicts: req.MaxConflicts, Objective: req.Objective}
+	outcomes := make(chan outcome, len(p.members))
+	for _, m := range p.members {
+		m := m
+		go func() {
+			res, err := m.se.Resolve(race, req.Roots, opts)
+			outcomes <- outcome{name: m.name, res: res, err: err}
+		}()
+	}
+
+	var winner *outcome
+	var fallback *outcome // best non-definitive incumbent (lowest cost)
+	var firstErr error    // first non-cancellation error
+	for remaining := len(p.members); remaining > 0; remaining-- {
+		o := <-outcomes
+		switch {
+		case winner != nil:
+			// Already settled; the rest are losers being drained.
+		case o.definitive():
+			o := o
+			winner = &o
+			cancel()
+		case o.err == nil:
+			if fallback == nil || o.res.Stats.Cost < fallback.res.Stats.Cost {
+				o := o
+				fallback = &o
+			}
+		case errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded):
+			// Canceled loser — or the caller's own context firing, which
+			// the post-drain ctx.Err() check reports.
+		case firstErr == nil:
+			firstErr = fmt.Errorf("resolve: member %s: %w", o.name, o.err)
+		}
+	}
+
+	if winner != nil {
+		if winner.err != nil {
+			return nil, winner.err
+		}
+		return &Result{Picks: winner.res.Picks, Stats: winner.res.Stats, Config: winner.name}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("resolve: request canceled: %w", err)
+	}
+	if fallback != nil {
+		return &Result{Picks: fallback.res.Picks, Stats: fallback.res.Stats, Config: fallback.name}, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, fmt.Errorf("resolve: portfolio has no members")
+}

@@ -1,0 +1,144 @@
+// Package resolve is the public serving surface of the concretizer: the
+// top of the version -> repo -> sat -> concretize -> resolve stack. It
+// answers "which concrete (package, version) set satisfies these roots,
+// best, under this objective?" through one small interface — Resolver —
+// behind which callers choose a backend:
+//
+//   - SessionResolver fronts a single long-lived concretize.Session: one
+//     warm solver whose learnt clauses, activity, phases, and solution
+//     cache persist across requests.
+//   - PortfolioResolver races several differently-configured Sessions per
+//     request and returns the first definitive answer, canceling the
+//     losers through the solver's interrupt. Configurations differ only
+//     in search heuristics, so every member returns cost-identical
+//     answers — racing changes latency, never results.
+//
+// Requests are context-aware end to end: canceling the request context
+// (or exceeding its deadline) interrupts in-flight solves promptly and
+// leaves every backend reusable, which is what makes deadline-bounded
+// serving and loser-cancellation safe.
+//
+// Objectives are pluggable per request (NewestVersion by default,
+// MinimalChange against an installed profile, or custom weights via
+// concretize.ObjectiveFunc); failures are typed (*concretize.UnsatError,
+// concretize.ErrBudget, the context's error on cancellation).
+package resolve
+
+import (
+	"context"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+	"github.com/paper-repo-growth/go-arxiv/internal/version"
+)
+
+// Re-exported request vocabulary, so serving-tier callers assemble
+// requests without importing the concretizer directly.
+type (
+	// Root is one requested package with a version constraint.
+	Root = concretize.Root
+	// Objective ranks satisfying resolutions; see concretize.Objective.
+	Objective = concretize.Objective
+	// Stats reports search effort for one request.
+	Stats = concretize.Stats
+	// SessionOptions tunes one backend Session (cache sizes and the
+	// sat.Config solver knobs a portfolio varies).
+	SessionOptions = concretize.SessionOptions
+	// ObjectiveFunc adapts a custom weight function into an Objective.
+	ObjectiveFunc = concretize.ObjectiveFunc
+	// ObjectiveRequest is the read-only context an Objective prices.
+	ObjectiveRequest = concretize.ObjectiveRequest
+	// PkgCost is one package's contribution to an objective.
+	PkgCost = concretize.PkgCost
+	// UnsatError reports a proven-unsatisfiable request, carrying its roots.
+	UnsatError = concretize.UnsatError
+)
+
+// Typed failure taxonomy, re-exported so serving-tier callers match
+// errors without importing the concretizer.
+var (
+	// ErrUnsatisfiable matches every *UnsatError via errors.Is.
+	ErrUnsatisfiable = concretize.ErrUnsatisfiable
+	// ErrBudget matches conflict-budget exhaustion before any model.
+	ErrBudget = concretize.ErrBudget
+)
+
+// NewestVersion is the default objective: prefer newest versions, then
+// fewer installed packages, roots first.
+func NewestVersion() Objective { return concretize.NewestVersion{} }
+
+// MinimalChange returns an objective minimizing churn against an
+// installed profile; see concretize.MinimalChange.
+func MinimalChange(installed repo.Profile) Objective { return concretize.MinimalChange(installed) }
+
+// ParseRoot parses a spec-like request string ("zlib", "zlib@1.2",
+// "zlib@1.2:1.4") into a Root.
+func ParseRoot(s string) (Root, error) { return concretize.ParseRoot(s) }
+
+// Request is one resolution request.
+type Request struct {
+	// Roots are the packages (with version constraints) that must be
+	// installed. Order and duplicates are irrelevant.
+	Roots []Root
+
+	// Objective ranks satisfying resolutions; nil selects NewestVersion.
+	Objective Objective
+
+	// MaxConflicts bounds solver effort per backend solve; <= 0 means
+	// unbounded. Prefer a context deadline for wall-clock bounds.
+	MaxConflicts int64
+}
+
+// Result is a concrete resolution: the picks, the effort spent producing
+// them, and which backend configuration produced them.
+type Result struct {
+	// Picks maps each installed package to its chosen version. The map is
+	// owned by the caller.
+	Picks map[string]version.Version
+
+	// Stats reports the winning backend's search effort.
+	Stats Stats
+
+	// Config names the backend configuration that produced the answer
+	// ("session" for a SessionResolver; the winning member's name for a
+	// PortfolioResolver).
+	Config string
+}
+
+// Resolver answers resolution requests. Implementations are safe for
+// concurrent use and honor ctx cancellation and deadlines promptly
+// without poisoning internal state.
+type Resolver interface {
+	Resolve(ctx context.Context, req Request) (*Result, error)
+}
+
+// SessionResolver serves every request from one warm concretize.Session.
+type SessionResolver struct {
+	name string
+	se   *concretize.Session
+}
+
+var _ Resolver = (*SessionResolver)(nil)
+
+// NewSessionResolver builds a resolver over one Session bound to the
+// universe (encoding its skeleton once). The universe must not be mutated
+// afterwards.
+func NewSessionResolver(u *repo.Universe, opts SessionOptions) *SessionResolver {
+	return &SessionResolver{name: "session", se: concretize.NewSession(u, opts)}
+}
+
+// Resolve implements Resolver.
+func (r *SessionResolver) Resolve(ctx context.Context, req Request) (*Result, error) {
+	res, err := r.se.Resolve(ctx, req.Roots, concretize.Options{
+		MaxConflicts: req.MaxConflicts,
+		Objective:    req.Objective,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Picks: res.Picks, Stats: res.Stats, Config: r.name}, nil
+}
+
+// CacheLen exposes the underlying Session's solution-cache size
+// (observability for serving tiers).
+func (r *SessionResolver) CacheLen() int { return r.se.CacheLen() }
