@@ -1,6 +1,6 @@
 GO ?= go
 BENCHTIME ?= 0.3s
-PR ?= pr3
+PR ?= pr4
 BENCH_JSON ?= BENCH_$(PR).json
 # The perf-trajectory suite: cold concretization, warm Session paths, and
 # the serving-tier portfolio. `make bench` runs it and records the numbers

@@ -110,6 +110,53 @@ func BenchmarkSessionColdStart(b *testing.B) {
 	}
 }
 
+// The BenchmarkConcretizeVirtual* benchmarks cover the richer declaration
+// semantics: provider selection over competing virtuals (cold and warm)
+// and trigger-guarded conditional chains. They extend the perf trajectory
+// for the provider-selection and condition-literal encoder paths.
+
+func BenchmarkConcretizeVirtualDiamond(b *testing.B) {
+	u, root := repo.SynthVirtualDiamond(6, 3, 6)
+	benchConcretize(b, u, root)
+}
+
+// BenchmarkConcretizeVirtualDiamondWarm measures the warm path over the
+// same virtual-diamond universe with the cache disabled and the root
+// rotating between the app and the virtuals themselves, so every
+// iteration re-runs provider selection on the shared solver.
+func BenchmarkConcretizeVirtualDiamondWarm(b *testing.B) {
+	u, root := repo.SynthVirtualDiamond(6, 3, 6)
+	sess := NewSession(u, SessionOptions{CacheSize: -1})
+	pool := [][]Root{
+		{{Pkg: root}},
+		{MustParseRoot("virtual:virt0")},
+		{MustParseRoot("virt1@:4")},
+		{MustParseRoot("virtual:virt2@2:")},
+	}
+	if _, err := sess.Resolve(context.Background(), pool[0], Options{}); err != nil {
+		b.Fatalf("prime Resolve: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Resolve(context.Background(), pool[i%len(pool)], Options{})
+		if err != nil {
+			b.Fatalf("Resolve: %v", err)
+		}
+		if len(res.Picks) == 0 {
+			b.Fatal("empty resolution")
+		}
+	}
+}
+
+// BenchmarkConcretizeVirtualConditional resolves the trigger root of a
+// conditional chain: every link's guarded dependency is armed, so the
+// solve exercises the condition-literal path end to end.
+func BenchmarkConcretizeVirtualConditional(b *testing.B) {
+	u, root := repo.SynthConditionalChain(16, 6)
+	benchConcretize(b, u, root)
+}
+
 func BenchmarkConcretizeUnsatWeb(b *testing.B) {
 	u, root := repo.SynthUnsatWeb(10, 4)
 	b.ReportAllocs()

@@ -19,43 +19,61 @@
 // promptly and the Session remains reusable. What "best" means is
 // pluggable per request through the Objective interface — NewestVersion
 // (the default), MinimalChange against an installed repo.Profile, or
-// custom weights via ObjectiveFunc. Failures are typed: *UnsatError
-// (matching ErrUnsatisfiable and carrying the request's roots), ErrBudget,
-// and the request context's error for cancellations.
+// custom weights via ObjectiveFunc. Failures are typed: *UnknownPackageError
+// (a root naming neither a package nor a virtual), *UnsatError (matching
+// ErrUnsatisfiable and carrying the request's roots), ErrBudget, and the
+// request context's error for cancellations.
 //
-// Architecture. The encoder is split into a per-universe skeleton and a
-// per-request activation layer, both owned by Session — the long-lived
-// warm path that the one-shot Concretize entry point also runs through:
+// Architecture. Every requirement — a dependency or conflict target, a
+// condition trigger, a request root — is lowered through one interface,
+// repo.Candidates: the concrete (package, version) selections able to
+// satisfy it, whether the name is a concrete package or a virtual provided
+// by competing packages. The encoder is split into a per-universe skeleton
+// and a per-request activation layer, both owned by Session — the
+// long-lived warm path that the one-shot Concretize entry point also runs
+// through:
 //
 //   - Skeleton (encoded once per Session, covering the whole universe):
 //     each package p gets an "installed" variable y_p and one variable
 //     x_{p,v} per available version v, with x_{p,v} -> y_p and
 //     y_p -> OR_v x_{p,v} tying selection to installation; an at-most-one
 //     pseudo-Boolean constraint over the x_{p,v} makes selection
-//     exactly-one for installed packages; each dependency (q, R) of (p, v)
-//     becomes the implication x_{p,v} -> OR {x_{q,w} : R.Satisfies(w)} (an
-//     empty disjunction forbids x_{p,v}); each conflict (q, R) becomes
-//     binary clauses !x_{p,v} | !x_{q,w} for every w of q inside R. With
-//     no roots asserted the skeleton is satisfied by installing nothing,
-//     so it can never drive the solver into a top-level conflict.
+//     exactly-one for installed packages. Each virtual gets a "needed"
+//     variable y_virt with the provider-selection clause
+//     y_virt -> OR {x_{q,w} : (q,w) provides it}. Each dependency (t, R)
+//     of (p, v) becomes the implication
+//     x_{p,v} -> OR {x_{c} : candidate c of t with R.Satisfies(c.Matched)}
+//     (an empty disjunction forbids x_{p,v}) — for a virtual target the
+//     candidates are its providers filtered by provided version; each
+//     conflict (t, R) becomes binary clauses !x_{p,v} | !x_{c} per matching
+//     candidate. A conditional declaration is guarded behind its trigger
+//     literal z — a memoized variable with x_{c} -> z for every candidate
+//     of the trigger inside its range — so the clause constrains only in
+//     models that actually select the trigger:
+//     x_{p,v} AND z -> (dep-or-conflict clause). With no roots asserted the
+//     skeleton is satisfied by installing nothing, so it can never drive
+//     the solver into a top-level conflict.
 //
-//   - Activation (per request): each root (p, R) is represented by a reusable
-//     assumption literal a with permanent clauses a -> y_p and
-//     a -> OR {x_{p,v} : R.Satisfies(v)}. Solving under the assumption
-//     that the request's activation literals hold yields exactly the
-//     cold-path formula, while learnt clauses, VSIDS activity, and saved
-//     phases persist across requests.
+//   - Activation (per request): each root (t, R) is represented by a
+//     reusable assumption literal a with permanent clauses a -> y_t (the
+//     package's installed variable, or the virtual's needed variable) and
+//     a -> OR {x_{c} : candidate c of t inside R}. Solving under the
+//     assumption that the request's activation literals hold yields exactly
+//     the cold-path formula, while learnt clauses, VSIDS activity, and
+//     saved phases persist across requests.
 //
 // Optimization. A weighted pseudo-Boolean objective over the request's
 // reachable packages prefers newest versions and fewer installed packages,
 // layered lexicographically in Spack's root-first order: root version-lag
-// dominates dependency version-lag, which dominates install count. Each
-// request runs branch-and-bound: solve, record the model and its cost,
-// then add a guarded tightening constraint "guard -> objective <= cost-1"
-// and re-solve assuming the guard, until the solver proves no cheaper
-// model exists. Guards are retired afterwards (fixed false and their PB
-// constraints garbage-collected), so bounds from past requests never
-// constrain, slow down, or leak memory into future ones.
+// dominates dependency version-lag, which dominates install count. A root
+// naming a virtual weights its provider packages at root rank, so a
+// resolved virtual costs what its chosen provider costs. Each request runs
+// branch-and-bound: solve, record the model and its cost, then add a
+// guarded tightening constraint "guard -> objective <= cost-1" and re-solve
+// assuming the guard, until the solver proves no cheaper model exists.
+// Guards are retired afterwards (fixed false and their PB constraints
+// garbage-collected), so bounds from past requests never constrain, slow
+// down, or leak memory into future ones.
 package concretize
 
 import (
@@ -69,27 +87,43 @@ import (
 	"github.com/paper-repo-growth/go-arxiv/internal/version"
 )
 
-// Root is one requested package with a version constraint.
+// VirtualPrefix is the explicit namespace prefix for roots that must name a
+// virtual ("virtual:mpi@2:"). A bare name resolves package-first, then
+// virtual; the prefix skips the package namespace entirely.
+const VirtualPrefix = "virtual:"
+
+// Root is one requested target with a version constraint. The target is a
+// package name or — when Virtual is set, or when the bare name only exists
+// as a virtual — a virtual name satisfied by any provider whose provided
+// version lies in Range.
 type Root struct {
-	Pkg   string
-	Range version.Range
+	Pkg     string
+	Range   version.Range
+	Virtual bool // explicit virtual: namespace; the name must be a virtual
 }
 
 // ParseRoot parses a spec-like request string: "zlib" (any version),
-// "zlib@1.2" (prefix constraint), or "zlib@1.2:1.4" (range).
+// "zlib@1.2" (prefix constraint), "zlib@1.2:1.4" (range), or the virtual
+// namespace form "virtual:mpi@2:" (any provider providing mpi at 2 or
+// newer).
 func ParseRoot(s string) (Root, error) {
 	name, rng, found := strings.Cut(s, "@")
+	virtual := false
+	if rest, ok := strings.CutPrefix(name, VirtualPrefix); ok {
+		virtual = true
+		name = rest
+	}
 	if name == "" {
 		return Root{}, fmt.Errorf("concretize: empty package name in root %q", s)
 	}
 	if !found {
-		return Root{Pkg: name, Range: version.AnyRange}, nil
+		return Root{Pkg: name, Range: version.AnyRange, Virtual: virtual}, nil
 	}
 	r, err := version.ParseRange(rng)
 	if err != nil {
 		return Root{}, fmt.Errorf("concretize: root %q: %w", s, err)
 	}
-	return Root{Pkg: name, Range: r}, nil
+	return Root{Pkg: name, Range: r, Virtual: virtual}, nil
 }
 
 // MustParseRoot is ParseRoot but panics on error; intended for tests.
@@ -102,12 +136,28 @@ func MustParseRoot(s string) Root {
 }
 
 // String renders the root in the spec syntax ParseRoot accepts: bare
-// package name for an unconstrained root, "pkg@range" otherwise.
+// target name for an unconstrained root, "pkg@range" otherwise, with the
+// "virtual:" prefix when the root is namespaced.
 func (r Root) String() string {
-	if r.Range.IsAny() {
-		return r.Pkg
+	name := r.Pkg
+	if r.Virtual {
+		name = VirtualPrefix + name
 	}
-	return r.Pkg + "@" + r.Range.String()
+	if r.Range.IsAny() {
+		return name
+	}
+	return name + "@" + r.Range.String()
+}
+
+// key renders the root's canonical identity: the activation-memo and
+// solution-cache key component. Unlike String it always includes the range,
+// so "pkg" and "pkg@:" (identical constraints) share one key.
+func (r Root) key() string {
+	name := r.Pkg
+	if r.Virtual {
+		name = VirtualPrefix + name
+	}
+	return name + "@" + r.Range.String()
 }
 
 // Options tunes the concretization search.
@@ -174,6 +224,23 @@ func unsatError(roots []Root) error {
 	return &UnsatError{Roots: append([]Root(nil), roots...)}
 }
 
+// UnknownPackageError reports a request root naming a target the universe
+// does not carry: neither a concrete package nor a virtual with a provider
+// (or, for an explicit "virtual:" root, not a virtual). It is a request
+// error, distinct from unsatisfiability, and is never cached.
+type UnknownPackageError struct {
+	Pkg     string
+	Virtual bool // the root used the explicit virtual: namespace
+}
+
+// Error implements error.
+func (e *UnknownPackageError) Error() string {
+	if e.Virtual {
+		return fmt.Sprintf("concretize: unknown virtual %q", e.Pkg)
+	}
+	return fmt.Sprintf("concretize: unknown package %q", e.Pkg)
+}
+
 // canceledError wraps the request context's error (context.Canceled or
 // context.DeadlineExceeded pass through errors.Is) after an interrupted
 // solve.
@@ -188,22 +255,83 @@ type pkgVars struct {
 	vers      []int // x_{p,v}, parallel to pkg.Versions() (newest first)
 }
 
+// virtVars holds the solver variables for one encoded virtual: the "needed"
+// variable backing provider-selection clauses and root activations.
+type virtVars struct {
+	needed int // y_virt
+}
+
+// rootCandidates is the single place root namespace rules live: a bare
+// name resolves package-first and falls back to the virtual namespace, an
+// explicit virtual: root must name a virtual, and in either case only
+// candidates whose matched version lies in the root's range can satisfy
+// it. Every root consumer — the reachability walk, the activation encoder,
+// and objective root weighting — resolves through this helper, so the
+// layers cannot drift on which concrete packages a root may bind to. ok is
+// false when the universe knows the name in no namespace the root may use;
+// a known name whose range matches nothing returns an empty (satisfiable-
+// by-nothing, i.e. unsatisfiable) candidate set with ok true.
+func rootCandidates(u *repo.Universe, r Root) ([]repo.Candidate, bool) {
+	if r.Virtual && !u.IsVirtual(r.Pkg) {
+		return nil, false
+	}
+	cands, ok := u.Candidates(r.Pkg)
+	if !ok {
+		return nil, false
+	}
+	out := make([]repo.Candidate, 0, len(cands))
+	for _, c := range cands {
+		if r.Range.Satisfies(c.Matched) {
+			out = append(out, c)
+		}
+	}
+	return out, true
+}
+
+// rootTargets resolves a root to the concrete package names it can
+// install: the package itself, or the providers of a virtual able to
+// satisfy the root's range. Unknown targets return a typed
+// *UnknownPackageError.
+func rootTargets(u *repo.Universe, r Root) ([]string, error) {
+	cands, ok := rootCandidates(u, r)
+	if !ok {
+		return nil, &UnknownPackageError{Pkg: r.Pkg, Virtual: r.Virtual}
+	}
+	names := make([]string, 0, len(cands))
+	for _, c := range cands { // canonical order: grouped by package name
+		if len(names) == 0 || names[len(names)-1] != c.Pkg {
+			names = append(names, c.Pkg)
+		}
+	}
+	return names, nil
+}
+
 // reachable collects every package reachable from the roots through any
 // version's dependencies (a conservative over-approximation: version choice
-// can only shrink the installed set). The result scopes a request's
-// objective and decoded picks.
+// can only shrink the installed set). Virtual edges traverse to every
+// provider; conditional dependencies traverse regardless of their trigger
+// (a trigger can only deactivate a dependency, never add targets). Trigger
+// packages themselves are not traversed: a trigger outside the reachable
+// set can never be installed, so the declarations it guards stay dormant.
+// The result scopes a request's objective and decoded picks.
 func reachable(u *repo.Universe, roots []Root) ([]string, error) {
 	var order []string
 	seen := map[string]bool{}
 	var queue []string
+	enqueue := func(pkgs []string) {
+		for _, name := range pkgs {
+			if !seen[name] {
+				seen[name] = true
+				queue = append(queue, name)
+			}
+		}
+	}
 	for _, r := range roots {
-		if _, ok := u.Package(r.Pkg); !ok {
-			return nil, fmt.Errorf("concretize: unknown root package %q", r.Pkg)
+		targets, err := rootTargets(u, r)
+		if err != nil {
+			return nil, err
 		}
-		if !seen[r.Pkg] {
-			seen[r.Pkg] = true
-			queue = append(queue, r.Pkg)
-		}
+		enqueue(targets)
 	}
 	for len(queue) > 0 {
 		name := queue[0]
@@ -212,30 +340,56 @@ func reachable(u *repo.Universe, roots []Root) ([]string, error) {
 		p, _ := u.Package(name)
 		for _, def := range p.Versions() {
 			for _, d := range def.Deps {
-				if _, ok := u.Package(d.Pkg); !ok {
-					continue // encoded as an unbuildable version
-				}
-				if !seen[d.Pkg] {
-					seen[d.Pkg] = true
-					queue = append(queue, d.Pkg)
-				}
+				// Unknown targets are encoded as unbuildable versions and
+				// contribute nothing to the closure (TargetPackages is nil).
+				enqueue(u.TargetPackages(d.Pkg))
 			}
 		}
 	}
 	return order, nil
 }
 
+// pickSatisfies reports whether the picks contain a selection satisfying a
+// requirement on name at rng: the package itself at a version in rng, or —
+// for a virtual — any picked provider whose provided version lies in rng.
+// It runs per declaration on every verified resolution, so the concrete
+// case is a plain map lookup and the virtual case walks the universe-owned
+// provider index without allocating.
+func pickSatisfies(u *repo.Universe, picks map[string]version.Version, name string, rng version.Range) bool {
+	if _, ok := u.Package(name); ok {
+		v, picked := picks[name]
+		return picked && rng.Satisfies(v)
+	}
+	provs, ok := u.Virtual(name)
+	if !ok {
+		return false
+	}
+	for _, pr := range provs {
+		if v, picked := picks[pr.Pkg]; picked && v.Equal(pr.Version) && rng.Satisfies(pr.Provided) {
+			return true
+		}
+	}
+	return false
+}
+
+// condActive reports whether a declaration's condition holds under the
+// picks (true for the unconditional zero Condition).
+func condActive(u *repo.Universe, picks map[string]version.Version, w repo.Condition) bool {
+	if w.IsZero() {
+		return true
+	}
+	return pickSatisfies(u, picks, w.Pkg, w.Range)
+}
+
 // verify cross-checks a decoded resolution directly against the universe,
-// independently of the SAT encoding. Any violation indicates an encoder or
-// solver bug and is returned as an internal error.
+// independently of the SAT encoding: roots (package or virtual) must be
+// satisfied, every active dependency of every pick must be satisfied by a
+// candidate, and no active conflict may hold. Any violation indicates an
+// encoder or solver bug and is returned as an internal error.
 func verify(u *repo.Universe, roots []Root, picks map[string]version.Version) error {
 	for _, r := range roots {
-		v, ok := picks[r.Pkg]
-		if !ok {
-			return fmt.Errorf("concretize: internal error: root %s not installed", r.Pkg)
-		}
-		if !r.Range.Satisfies(v) {
-			return fmt.Errorf("concretize: internal error: root %s@%s outside %s", r.Pkg, v, r.Range)
+		if !pickSatisfies(u, picks, r.Pkg, r.Range) {
+			return fmt.Errorf("concretize: internal error: root %s not satisfied", r)
 		}
 	}
 	for name, v := range picks {
@@ -254,19 +408,21 @@ func verify(u *repo.Universe, roots []Root, picks map[string]version.Version) er
 			return fmt.Errorf("concretize: internal error: %s@%s not in universe", name, v)
 		}
 		for _, d := range def.Deps {
-			w, ok := picks[d.Pkg]
-			if !ok {
-				return fmt.Errorf("concretize: internal error: %s@%s dependency %s missing", name, v, d.Pkg)
+			if !condActive(u, picks, d.When) {
+				continue
 			}
-			if !d.Range.Satisfies(w) {
-				return fmt.Errorf("concretize: internal error: %s@%s needs %s@%s, got %s",
-					name, v, d.Pkg, d.Range, w)
+			if !pickSatisfies(u, picks, d.Pkg, d.Range) {
+				return fmt.Errorf("concretize: internal error: %s@%s needs %s@%s %s, unsatisfied",
+					name, v, d.Pkg, d.Range, d.When)
 			}
 		}
 		for _, c := range def.Conflicts {
-			if w, ok := picks[c.Pkg]; ok && c.Range.Satisfies(w) {
-				return fmt.Errorf("concretize: internal error: %s@%s conflicts with installed %s@%s",
-					name, v, c.Pkg, w)
+			if !condActive(u, picks, c.When) {
+				continue
+			}
+			if pickSatisfies(u, picks, c.Pkg, c.Range) {
+				return fmt.Errorf("concretize: internal error: %s@%s conflicts with installed %s@%s %s",
+					name, v, c.Pkg, c.Range, c.When)
 			}
 		}
 	}

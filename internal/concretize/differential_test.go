@@ -60,6 +60,16 @@ func diffRequest(rng *rand.Rand, pkgs, versions int) []Root {
 // checked too. exactPicks selects the strong (unique-optimum) oracle.
 func runDifferentialStream(t *testing.T, rng *rand.Rand, u *repo.Universe, pkgs, versions, nReqs int, exactPicks bool) {
 	t.Helper()
+	gen := func(rng *rand.Rand) []Root { return diffRequest(rng, pkgs, versions) }
+	runDifferentialGenStream(t, rng, u, gen, nReqs, exactPicks)
+}
+
+// runDifferentialGenStream is the generator-agnostic core of the
+// differential harness: requests come from gen, so universe families with
+// their own root vocabulary (virtual roots, trigger packages) plug in their
+// own request shapes.
+func runDifferentialGenStream(t *testing.T, rng *rand.Rand, u *repo.Universe, gen func(rng *rand.Rand) []Root, nReqs int, exactPicks bool) {
+	t.Helper()
 	sess := NewSession(u, SessionOptions{})
 	var replay [][]Root
 	for i := 0; i < nReqs; i++ {
@@ -67,7 +77,7 @@ func runDifferentialStream(t *testing.T, rng *rand.Rand, u *repo.Universe, pkgs,
 		if len(replay) > 0 && rng.Intn(4) == 0 {
 			roots = replay[rng.Intn(len(replay))] // repeat: exercises the cache
 		} else {
-			roots = diffRequest(rng, pkgs, versions)
+			roots = gen(rng)
 			replay = append(replay, roots)
 		}
 

@@ -3,13 +3,16 @@ package concretize
 import "testing"
 
 // FuzzParseRoot: ParseRoot must never panic, never accept an empty package
-// name, and every accepted input must round-trip through Root.String to an
-// equivalent root with a stable rendering. The seed corpus lives under
+// name (in either namespace), and every accepted input must round-trip
+// through Root.String to an equivalent root — virtual namespace included —
+// with a stable rendering. The seed corpus lives under
 // testdata/fuzz/FuzzParseRoot.
 func FuzzParseRoot(f *testing.F) {
 	for _, seed := range []string{
 		"zlib", "zlib@1.2", "zlib@1.2:1.4", "zlib@:", "zlib@1.2:", "zlib@:1.4",
 		"hdf5@1.14", "a@b@1.2", "pkg-with-dash@2021.06.0", "x@0:9",
+		"virtual:mpi", "virtual:mpi@2:", "virtual:mpi@2:3", "virtual:",
+		"virtual:@1.2", "virtual:virtual:mpi", "virtual:x@:",
 	} {
 		f.Add(seed)
 	}
@@ -28,6 +31,9 @@ func FuzzParseRoot(f *testing.F) {
 		}
 		if r2.Pkg != r.Pkg {
 			t.Fatalf("round-trip changed package: %q -> %q vs %q", s, r.Pkg, r2.Pkg)
+		}
+		if r2.Virtual != r.Virtual {
+			t.Fatalf("round-trip changed namespace: %q -> virtual=%v vs %v", s, r.Virtual, r2.Virtual)
 		}
 		if r2.Range.String() != r.Range.String() || r2.Range.IsAny() != r.Range.IsAny() {
 			t.Fatalf("round-trip changed range: %q -> %q vs %q", s, r.Range, r2.Range)

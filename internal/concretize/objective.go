@@ -40,11 +40,20 @@ type ObjectiveRequest struct {
 	Roots    []Root
 }
 
-// rootSet returns the set of root package names.
+// rootSet returns the set of concrete package names carrying root weight,
+// resolved through the same rootCandidates helper the activation encoder
+// uses: a root naming a virtual expands to exactly the providers able to
+// satisfy its range, so a resolved virtual costs what its chosen provider
+// costs — and a provider that cannot satisfy the root (provided version
+// outside the range) is never promoted to root rank just for providing
+// something.
 func (req ObjectiveRequest) rootSet() map[string]bool {
 	set := make(map[string]bool, len(req.Roots))
 	for _, r := range req.Roots {
-		set[r.Pkg] = true
+		cands, _ := rootCandidates(req.Universe, r)
+		for _, c := range cands {
+			set[c.Pkg] = true
+		}
 	}
 	return set
 }

@@ -66,7 +66,9 @@ type Session struct {
 	mu      sync.Mutex
 	solver  *sat.Solver
 	vars    map[string]*pkgVars
-	acts    map[string]*list.Element // canonical "pkg@range" -> activation entry
+	virts   map[string]*virtVars     // encoded virtuals (provider in scope)
+	trigs   map[string]sat.Lit       // memoized condition literals, by "pkg@range"
+	acts    map[string]*list.Element // canonical root key -> activation entry
 	actsLRU *list.List               // of *actEntry, most-recently-used first
 	actsMax int
 
@@ -95,6 +97,8 @@ func newSession(u *repo.Universe, names []string, opts SessionOptions) *Session 
 		u:       u,
 		solver:  sat.NewWithConfig(opts.Solver),
 		vars:    make(map[string]*pkgVars),
+		virts:   make(map[string]*virtVars),
+		trigs:   make(map[string]sat.Lit),
 		acts:    make(map[string]*list.Element),
 		actsLRU: list.New(),
 		actsMax: opts.MaxActivations,
@@ -133,13 +137,16 @@ func (se *Session) CacheLen() int {
 
 // encodeSkeleton lowers the given packages into the solver once, in sorted
 // package order: installed/version variables, selection structure,
-// exactly-one constraints, dependency implications, and conflicts. Roots
-// are deliberately absent — they arrive per request as assumption literals
-// — so the skeleton with no assumptions is trivially satisfiable (install
-// nothing) and the solver can never be poisoned into a top-level conflict.
-// The name set must be dependency-closed (all of the universe, or a
-// reachability closure): a dependency on a package outside it is encoded
-// as unbuildable, and a conflict with one is vacuous.
+// exactly-one constraints, virtual provider-selection clauses, and the
+// dependency/conflict requirements — conditional ones guarded behind their
+// trigger literals. Roots are deliberately absent — they arrive per request
+// as assumption literals — so the skeleton with no assumptions is trivially
+// satisfiable (install nothing) and the solver can never be poisoned into a
+// top-level conflict. The name set must be dependency-closed (all of the
+// universe, or a reachability closure, which traverses virtual and
+// conditional edges): a requirement on a name wholly outside it is encoded
+// as unbuildable (dependencies) or vacuous (conflicts and triggers —
+// nothing outside the closure can ever be installed).
 func (se *Session) encodeSkeleton(names []string) {
 	s := se.solver
 	for _, name := range names {
@@ -167,62 +174,161 @@ func (se *Session) encodeSkeleton(names []string) {
 		}
 	}
 
-	// Dependencies and conflicts per (package, version).
+	// Virtual "needed" variables with provider-selection clauses:
+	// y_virt -> OR {x_{q,w} : (q,w) in scope provides virt}. Virtuals with
+	// no in-scope provider stay unencoded; requirements on them lower to
+	// empty candidate sets below.
+	for _, virt := range se.u.VirtualNames() {
+		sel := []sat.Lit{0} // placeholder for !y_virt
+		for _, c := range se.scopedCandidates(virt) {
+			sel = append(sel, sat.Lit(se.vars[c.Pkg].vers[c.Index]))
+		}
+		if len(sel) == 1 {
+			continue
+		}
+		vv := &virtVars{needed: s.NewVar()}
+		se.virts[virt] = vv
+		sel[0] = sat.Lit(vv.needed).Neg()
+		s.AddClause(sel...)
+	}
+
+	// Requirements per (package, version): dependencies and conflicts,
+	// both lowered through the same candidate enumeration and trigger
+	// guarding.
 	for _, name := range names {
 		pv := se.vars[name]
 		for i, def := range pv.pkg.Versions() {
 			xi := sat.Lit(pv.vers[i])
 			for _, d := range def.Deps {
-				qv, ok := se.vars[d.Pkg]
-				if !ok {
-					// Unknown dependency package: this version is unbuildable.
-					s.AddClause(xi.Neg())
-					continue
-				}
-				impl := []sat.Lit{xi.Neg()}
-				for j, qdef := range qv.pkg.Versions() {
-					if d.Range.Satisfies(qdef.Version) {
-						impl = append(impl, sat.Lit(qv.vers[j]))
-					}
-				}
-				s.AddClause(impl...) // empty disjunction forbids x_{p,v}
+				se.addRequirement(xi, d.When, d.Pkg, d.Range, false)
 			}
 			for _, c := range def.Conflicts {
-				qv, ok := se.vars[c.Pkg]
-				if !ok {
-					continue // conflict with a package that can never be installed
-				}
-				for j, qdef := range qv.pkg.Versions() {
-					if c.Range.Satisfies(qdef.Version) {
-						s.AddClause(xi.Neg(), sat.Lit(qv.vers[j]).Neg())
-					}
-				}
+				se.addRequirement(xi, c.When, c.Pkg, c.Range, true)
 			}
 		}
 	}
 }
 
+// scopedCandidates enumerates the candidates for a requirement target that
+// the session's skeleton actually carries variables for. Out-of-scope
+// providers of a virtual are dropped: the reachability closure pulls in
+// every provider of any dependency target, so a dropped provider can only
+// belong to a conflict or trigger target — and those are vacuous for
+// packages that can never be installed.
+func (se *Session) scopedCandidates(name string) []repo.Candidate {
+	cands, ok := se.u.Candidates(name)
+	if !ok {
+		return nil
+	}
+	inScope := cands[:0:0]
+	for _, c := range cands {
+		if _, ok := se.vars[c.Pkg]; ok {
+			inScope = append(inScope, c)
+		}
+	}
+	return inScope
+}
+
+// conditionLit returns the trigger literal guarding a conditional
+// declaration: a memoized variable z with x_{c} -> z for every in-scope
+// candidate c of the trigger inside its range, so z is forced true exactly
+// when some model selection activates the trigger (and is free — never
+// forced — otherwise, keeping guarded clauses vacuous in models that avoid
+// the trigger). ok is false when the trigger can never fire (unknown or
+// out-of-scope target, or no candidate in range): the guarded declaration
+// is then dormant and must not be emitted at all. The zero Condition
+// returns (0, true): unconditional.
+func (se *Session) conditionLit(w repo.Condition) (sat.Lit, bool) {
+	if w.IsZero() {
+		return 0, true
+	}
+	key := w.Pkg + "@" + w.Range.String()
+	if z, ok := se.trigs[key]; ok {
+		return z, true
+	}
+	var support []sat.Lit
+	for _, c := range se.scopedCandidates(w.Pkg) {
+		if w.Range.Satisfies(c.Matched) {
+			support = append(support, sat.Lit(se.vars[c.Pkg].vers[c.Index]))
+		}
+	}
+	if len(support) == 0 {
+		return 0, false
+	}
+	z := sat.Lit(se.solver.NewVar())
+	for _, x := range support {
+		se.solver.AddClause(x.Neg(), z)
+	}
+	se.trigs[key] = z
+	return z, true
+}
+
+// addRequirement emits the clauses for one dependency or conflict of the
+// version literal xi, guarded by its condition: for a dependency,
+// xi AND z -> OR {x_c : candidate c of target inside rng} (an empty
+// disjunction makes xi unbuildable whenever the trigger holds); for a
+// conflict, xi AND z -> !x_c per matching candidate. This is the one code
+// path every declaration kind lowers through — concrete and virtual
+// targets differ only in what Candidates enumerates.
+func (se *Session) addRequirement(xi sat.Lit, when repo.Condition, target string, rng version.Range, conflict bool) {
+	z, live := se.conditionLit(when)
+	if !live {
+		return // trigger can never fire: the declaration is dormant
+	}
+	guard := func(lits ...sat.Lit) []sat.Lit {
+		out := make([]sat.Lit, 0, len(lits)+2)
+		out = append(out, xi.Neg())
+		if z != 0 {
+			out = append(out, z.Neg())
+		}
+		return append(out, lits...)
+	}
+	cands := se.scopedCandidates(target)
+	if conflict {
+		for _, c := range cands {
+			if rng.Satisfies(c.Matched) {
+				se.solver.AddClause(guard(sat.Lit(se.vars[c.Pkg].vers[c.Index]).Neg())...)
+			}
+		}
+		return
+	}
+	impl := guard()
+	for _, c := range cands {
+		if rng.Satisfies(c.Matched) {
+			impl = append(impl, sat.Lit(se.vars[c.Pkg].vers[c.Index]))
+		}
+	}
+	se.solver.AddClause(impl...) // empty disjunction forbids xi (under the trigger)
+}
+
 // activation returns the assumption literal enforcing one root constraint,
 // allocating it and its clauses on first use. The clauses are permanent
-// implications (a -> installed, a -> one allowed version), vacuous while a
-// is unassumed, so repeat requests for the same root reuse both the
-// literal and any clauses the solver learnt about it.
+// implications (a -> installed/needed, a -> one allowed candidate), vacuous
+// while a is unassumed, so repeat requests for the same root reuse both the
+// literal and any clauses the solver learnt about it. Roots resolve through
+// the same candidate enumeration as every other requirement: a package root
+// activates its own versions, a virtual root activates the providers whose
+// provided version lies in the range.
 func (se *Session) activation(r Root) sat.Lit {
-	key := r.Pkg + "@" + r.Range.String()
+	key := r.key()
 	if el, ok := se.acts[key]; ok {
 		se.actsLRU.MoveToFront(el)
 		return el.Value.(*actEntry).lit
 	}
-	pv := se.vars[r.Pkg]
 	a := sat.Lit(se.solver.NewVar())
-	se.solver.AddClause(a.Neg(), sat.Lit(pv.installed))
+	if pv, ok := se.vars[r.Pkg]; ok && !r.Virtual {
+		se.solver.AddClause(a.Neg(), sat.Lit(pv.installed))
+	} else if vv, ok := se.virts[r.Pkg]; ok {
+		se.solver.AddClause(a.Neg(), sat.Lit(vv.needed))
+	}
 	allowed := []sat.Lit{a.Neg()}
-	for i, def := range pv.pkg.Versions() {
-		if r.Range.Satisfies(def.Version) {
-			allowed = append(allowed, sat.Lit(pv.vers[i]))
+	cands, _ := rootCandidates(se.u, r) // unknown roots were rejected by reachable
+	for _, c := range cands {
+		if pv, ok := se.vars[c.Pkg]; ok {
+			allowed = append(allowed, sat.Lit(pv.vers[c.Index]))
 		}
 	}
-	// With no matching version this is the unit clause !a: the root is
+	// With no matching candidate this is the unit clause !a: the root is
 	// permanently unsatisfiable, without poisoning the solver.
 	se.solver.AddClause(allowed...)
 	se.acts[key] = se.actsLRU.PushFront(&actEntry{key: key, lit: a})
@@ -250,14 +356,15 @@ func (se *Session) evictActivations(pinned map[sat.Lit]bool) {
 	}
 }
 
-// canonicalRootParts renders the roots in canonical form: "pkg@range"
-// strings, sorted and deduplicated. Root order and duplicates never change
-// the meaning of a request, so canonicalization maximizes cache hits and
-// keeps assumption order deterministic.
+// canonicalRootParts renders the roots in canonical form: Root.key()
+// strings ("pkg@range", virtual-namespaced when explicit), sorted and
+// deduplicated. Root order and duplicates never change the meaning of a
+// request, so canonicalization maximizes cache hits and keeps assumption
+// order deterministic.
 func canonicalRootParts(roots []Root) []string {
 	parts := make([]string, len(roots))
 	for i, r := range roots {
-		parts[i] = r.Pkg + "@" + r.Range.String()
+		parts[i] = r.key()
 	}
 	sort.Strings(parts)
 	out := parts[:0]
@@ -355,7 +462,7 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 	// one literal each).
 	byPart := make(map[string]Root, len(roots))
 	for _, r := range roots {
-		byPart[r.Pkg+"@"+r.Range.String()] = r
+		byPart[r.key()] = r
 	}
 	base := make([]sat.Lit, 0, len(parts))
 	pinned := make(map[sat.Lit]bool, len(parts))

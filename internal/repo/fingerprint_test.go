@@ -1,6 +1,9 @@
 package repo
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -71,6 +74,139 @@ func TestFingerprintSensitive(t *testing.T) {
 	}
 	if got := base().Fingerprint(); got != fp {
 		t.Error("fingerprint not reproducible for identical content")
+	}
+}
+
+// TestFingerprintDistinguishesProvidesAndWhen is the cache-poisoning
+// regression test for the richer declaration schema: two universes
+// differing ONLY in a Provides or When declaration must hash differently —
+// otherwise a Session solution cache could serve a resolution computed
+// under different provider or trigger semantics.
+func TestFingerprintDistinguishesProvidesAndWhen(t *testing.T) {
+	base := func() *Universe {
+		u := New()
+		u.Add("app", "1.0", Dep("lib", ":2"))
+		u.Add("lib", "1.0")
+		return u
+	}
+	fp := base().Fingerprint()
+
+	mutations := map[string]func() *Universe{
+		"provides added": func() *Universe {
+			u := New()
+			u.Add("app", "1.0", Dep("lib", ":2"))
+			u.Add("lib", "1.0", Prov("iface", "1.0"))
+			return u
+		},
+		"provided version differs": func() *Universe {
+			u := New()
+			u.Add("app", "1.0", Dep("lib", ":2"))
+			u.Add("lib", "1.0", Prov("iface", "2.0"))
+			return u
+		},
+		"provided virtual renamed": func() *Universe {
+			u := New()
+			u.Add("app", "1.0", Dep("lib", ":2"))
+			u.Add("lib", "1.0", Prov("iface2", "1.0"))
+			return u
+		},
+		"dep gains a condition": func() *Universe {
+			u := New()
+			u.Add("app", "1.0", DepWhen("lib", ":2", "lib", "1:"))
+			u.Add("lib", "1.0")
+			return u
+		},
+		"condition range differs": func() *Universe {
+			u := New()
+			u.Add("app", "1.0", DepWhen("lib", ":2", "lib", "2:"))
+			u.Add("lib", "1.0")
+			return u
+		},
+	}
+	seen := map[string]string{"base": fp}
+	for name, build := range mutations {
+		got := build().Fingerprint()
+		for prev, prevFP := range seen {
+			if got == prevFP {
+				t.Errorf("%s: fingerprint collides with %s", name, prev)
+			}
+		}
+		seen[name] = got
+	}
+	// Conditional vs unconditional conflict must differ too.
+	uncond := New()
+	uncond.Add("app", "1.0", Confl("lib", ":"))
+	uncond.Add("lib", "1.0")
+	cond := New()
+	cond.Add("app", "1.0", ConflWhen("lib", ":", "lib", ":"))
+	cond.Add("lib", "1.0")
+	if uncond.Fingerprint() == cond.Fingerprint() {
+		t.Error("conditional and unconditional conflict hash identically")
+	}
+}
+
+// TestFingerprintSchemaTagged: the serialization carries the v2 schema tag,
+// so the hash of even a trivially small universe differs from what the
+// untagged v1 serialization would produce (guarding against silent schema
+// reuse if the tag were dropped).
+func TestFingerprintSchemaTagged(t *testing.T) {
+	u := New()
+	u.Add("solo", "1.0")
+	// Recompute what an untagged serialization of this universe hashes to.
+	h := sha256.New()
+	fmt.Fprintf(h, "p %q\n", "solo")
+	fmt.Fprintf(h, "v %q\n", "1.0")
+	untagged := hex.EncodeToString(h.Sum(nil))
+	if u.Fingerprint() == untagged {
+		t.Error("fingerprint is not schema-tagged")
+	}
+}
+
+// TestSynthVirtualGeneratorsDeterministic: the virtual/conditional
+// families are pure functions of their arguments and carry the
+// declarations they advertise.
+func TestSynthVirtualGeneratorsDeterministic(t *testing.T) {
+	v1, root1 := SynthVirtualDiamond(3, 2, 4)
+	v2, root2 := SynthVirtualDiamond(3, 2, 4)
+	if root1 != root2 || v1.Fingerprint() != v2.Fingerprint() {
+		t.Error("SynthVirtualDiamond not deterministic")
+	}
+	if v1.NumVirtuals() != 3 {
+		t.Errorf("NumVirtuals = %d, want 3", v1.NumVirtuals())
+	}
+	if provs, _ := v1.Virtual("virt0"); len(provs) != 2*4 {
+		t.Errorf("virt0 has %d provider entries, want 8", len(provs))
+	}
+	if err := v1.Validate(); err != nil {
+		t.Errorf("SynthVirtualDiamond invalid: %v", err)
+	}
+
+	c1, _ := SynthConditionalChain(4, 3)
+	c2, _ := SynthConditionalChain(4, 3)
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Error("SynthConditionalChain not deterministic")
+	}
+	if err := c1.Validate(); err != nil {
+		t.Errorf("SynthConditionalChain invalid: %v", err)
+	}
+	conds := 0
+	for _, name := range c1.Names() {
+		p, _ := c1.Package(name)
+		for _, def := range p.Versions() {
+			for _, d := range def.Deps {
+				if !d.When.IsZero() {
+					conds++
+				}
+			}
+			for _, cf := range def.Conflicts {
+				if !cf.When.IsZero() {
+					conds++
+				}
+			}
+		}
+	}
+	if conds == 0 {
+		t.Error("SynthConditionalChain emitted no conditional declarations")
 	}
 }
 

@@ -2,6 +2,7 @@ package repo
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/version"
@@ -76,6 +77,47 @@ func TestValidateUnknownReferences(t *testing.T) {
 	}
 }
 
+// TestValidateReportsAllErrors: Validate collects every integrity
+// violation via errors.Join instead of stopping at the first — one pass
+// over a broken universe names each problem.
+func TestValidateReportsAllErrors(t *testing.T) {
+	u := New()
+	u.Add("a", "1.0",
+		Dep("ghostdep", ":"),
+		Confl("ghostconfl", ":"),
+		DepWhen("b", ":", "ghosttrigger", "2:"),
+		ConflWhen("b", ":", "ghosttrigger2", ":"))
+	u.Add("b", "1.0", Prov("a", "1.0")) // virtual "a" collides with package "a"
+	err := u.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a universe with five violations")
+	}
+	for _, want := range []string{
+		"ghostdep", "ghostconfl", "ghosttrigger", "ghosttrigger2", "collides",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q:\n%v", want, err)
+		}
+	}
+}
+
+// TestValidateVirtualReferences: dependency, conflict, and trigger targets
+// naming a virtual (with at least one provider) are sound; Provides itself
+// introduces the virtual.
+func TestValidateVirtualReferences(t *testing.T) {
+	u := New()
+	u.Add("app", "1.0",
+		Dep("mpi", "2:"),
+		ConflWhen("mpi", ":1", "toggle", ":"),
+		DepWhen("extra", ":", "mpi", "3:"))
+	u.Add("ompi", "4.0", Prov("mpi", "3.0"))
+	u.Add("toggle", "1.0")
+	u.Add("extra", "1.0")
+	if err := u.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
 func TestNamesAndCounts(t *testing.T) {
 	u, root := SynthDiamond(3, 4)
 	if root != "app" {
@@ -105,6 +147,8 @@ func TestSynthGeneratorsValidateAndAreDeterministic(t *testing.T) {
 		{"chain", func() (*Universe, string) { return SynthChain(8, 4) }},
 		{"dense", func() (*Universe, string) { return SynthDense(12, 4, 3, 7) }},
 		{"unsatweb", func() (*Universe, string) { return SynthUnsatWeb(4, 3) }},
+		{"virtualdiamond", func() (*Universe, string) { return SynthVirtualDiamond(3, 2, 4) }},
+		{"condchain", func() (*Universe, string) { return SynthConditionalChain(5, 3) }},
 	}
 	for _, g := range gens {
 		u1, root1 := g.build()
@@ -126,6 +170,92 @@ func TestSynthGeneratorsValidateAndAreDeterministic(t *testing.T) {
 				t.Errorf("%s: package %s differs between runs", g.name, name)
 			}
 		}
+	}
+}
+
+// TestVirtualIndexAndCandidates: the virtual-name index is canonical
+// (provider order independent of Add order) and Candidates unifies the
+// package and virtual namespaces, carrying the matched version each.
+func TestVirtualIndexAndCandidates(t *testing.T) {
+	build := func(flip bool) *Universe {
+		u := New()
+		add := func() {
+			u.Add("ompi", "4.0", Prov("mpi", "3.0"))
+			u.Add("ompi", "3.0", Prov("mpi", "2.1"))
+		}
+		if flip {
+			u.Add("mpich", "1.5", Prov("mpi", "1.0"))
+			add()
+		} else {
+			add()
+			u.Add("mpich", "1.5", Prov("mpi", "1.0"))
+		}
+		return u
+	}
+	a, b := build(false), build(true)
+	if !a.IsVirtual("mpi") || a.IsVirtual("ompi") || a.NumVirtuals() != 1 {
+		t.Fatalf("virtual index wrong: %v", a.VirtualNames())
+	}
+	pa, _ := a.Virtual("mpi")
+	pb, _ := b.Virtual("mpi")
+	if !reflect.DeepEqual(pa, pb) {
+		t.Errorf("provider order depends on Add order:\n a: %v\n b: %v", pa, pb)
+	}
+
+	cands, ok := a.Candidates("mpi")
+	if !ok || len(cands) != 3 {
+		t.Fatalf("Candidates(mpi) = %v, %v", cands, ok)
+	}
+	for _, c := range cands {
+		p, _ := a.Package(c.Pkg)
+		if !p.Versions()[c.Index].Version.Equal(c.Version) {
+			t.Errorf("candidate %v: Index does not address Version", c)
+		}
+		if c.Matched.Equal(c.Version) {
+			t.Errorf("virtual candidate %v: Matched should be the provided version", c)
+		}
+	}
+	pkgCands, ok := a.Candidates("ompi")
+	if !ok || len(pkgCands) != 2 || !pkgCands[0].Matched.Equal(pkgCands[0].Version) {
+		t.Errorf("package candidates wrong: %v, %v", pkgCands, ok)
+	}
+	if _, ok := a.Candidates("ghost"); ok {
+		t.Error("Candidates accepted an unknown name")
+	}
+
+	if got := a.TargetPackages("mpi"); !reflect.DeepEqual(got, []string{"mpich", "ompi"}) {
+		t.Errorf("TargetPackages(mpi) = %v", got)
+	}
+	if got := a.TargetPackages("ompi"); !reflect.DeepEqual(got, []string{"ompi"}) {
+		t.Errorf("TargetPackages(ompi) = %v", got)
+	}
+	if got := a.TargetPackages("ghost"); got != nil {
+		t.Errorf("TargetPackages(ghost) = %v, want nil", got)
+	}
+}
+
+// TestNamesMemoized: Names returns the same (content-equal) slice across
+// calls without rebuilding, and Add invalidates the memo — interleaved
+// with Fingerprint, which walks Names on every call.
+func TestNamesMemoized(t *testing.T) {
+	u := New()
+	u.Add("b", "1.0")
+	u.Add("a", "1.0")
+	n1 := u.Names()
+	n2 := u.Names()
+	if !reflect.DeepEqual(n1, []string{"a", "b"}) {
+		t.Fatalf("Names = %v", n1)
+	}
+	if &n1[0] != &n2[0] {
+		t.Error("repeat Names call rebuilt the slice (memo not hit)")
+	}
+	fp1 := u.Fingerprint()
+	u.Add("c", "1.0")
+	if got := u.Names(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Names after Add = %v (stale memo)", got)
+	}
+	if u.Fingerprint() == fp1 {
+		t.Error("fingerprint unchanged after Add (stale memo leaked into hash)")
 	}
 }
 

@@ -189,6 +189,93 @@ func SynthPigeonhole(pigeons int) (*Universe, string) {
 	return u, "nest"
 }
 
+// SynthVirtualDiamond builds a diamond-shaped universe over virtual
+// interfaces: a root "app" depends on `virtuals` virtual names
+// "virt0".."virt<virtuals-1>", each provided by `providers` competing
+// provider packages "prov<i>_<j>", each of which depends on a single shared
+// "vbase". Every concrete package has `versions` versions 1.0 ..
+// <versions>.0; version k.0 of a provider provides its virtual at k.0 and
+// requires vbase at ":k", and app@k requires each virtual at ":k", so every
+// pick chain is an upper-bound (monotone) constraint.
+//
+// With providers == 1 each request has a unique optimal resolution (the
+// SynthDense monotone argument applies: raising any version only loosens
+// downstream constraints), so differential tests may assert pick-for-pick
+// equality. With providers >= 2 the K providers of each virtual are
+// interchangeable and the optimum is tie-prone: K co-optimal resolutions
+// per virtual, so tests must compare costs and verify validity rather than
+// exact picks. Returns the universe and the root package name.
+func SynthVirtualDiamond(virtuals, providers, versions int) (*Universe, string) {
+	if virtuals < 1 || providers < 1 || versions < 1 {
+		panic("repo: SynthVirtualDiamond requires virtuals, providers, versions >= 1")
+	}
+	u := New()
+	for k := 1; k <= versions; k++ {
+		var appDecls []Decl
+		for i := 0; i < virtuals; i++ {
+			appDecls = append(appDecls, Dep(fmt.Sprintf("virt%d", i), ":"+fmt.Sprint(k)))
+		}
+		u.Add("app", synthVer(k), appDecls...)
+		for i := 0; i < virtuals; i++ {
+			for j := 0; j < providers; j++ {
+				u.Add(fmt.Sprintf("prov%d_%d", i, j), synthVer(k),
+					Prov(fmt.Sprintf("virt%d", i), synthVer(k)),
+					Dep("vbase", ":"+fmt.Sprint(k)))
+			}
+		}
+		u.Add("vbase", synthVer(k))
+	}
+	return u, "app"
+}
+
+// SynthConditionalChain builds a universe whose constraint graph flips with
+// trigger picks: a root "cc0" depends on a trigger package "ctrl" at ":k"
+// (so the root's version caps the trigger's) and on a chain
+// "cc1".."cc<length-1>". Each link cc_i@k unconditionally accepts any next
+// link, but conditionally — only when ctrl is selected at "k:" — requires
+// the next link at "k:", so high trigger picks activate lower-bound
+// cascades that low trigger picks leave dormant. A pariah package "ccx"
+// (reachable only when requested as a root) carries conditional conflicts:
+// ccx@k cannot coexist with cc0 at "k:" while ctrl is at "k:", so requests
+// rooting both ccx and cc0 force the optimizer to trade trigger version-lag
+// against the conflict — and are unsatisfiable outright when versions == 1.
+// Every package has `versions` versions. Returns the universe and the root
+// package name.
+//
+// Requests whose roots constrain only "cc0" have a unique optimal
+// resolution (the root pick is forced to its newest allowed version by the
+// dominant root weight, the trigger to the root's cap, and every link to
+// its newest version, which all active cascades accept), so differential
+// tests may assert exact picks on such streams; requests rooting other
+// packages are tie-prone and should compare costs only.
+func SynthConditionalChain(length, versions int) (*Universe, string) {
+	if length < 1 || versions < 1 {
+		panic("repo: SynthConditionalChain requires length >= 1 and versions >= 1")
+	}
+	u := New()
+	for k := 1; k <= versions; k++ {
+		ks := fmt.Sprint(k)
+		u.Add("ctrl", synthVer(k))
+		rootDecls := []Decl{Dep("ctrl", ":"+ks)}
+		if length > 1 {
+			rootDecls = append(rootDecls, Dep("cc1", ":"))
+		}
+		u.Add("cc0", synthVer(k), rootDecls...)
+		for i := 1; i < length; i++ {
+			var decls []Decl
+			if i+1 < length {
+				next := fmt.Sprintf("cc%d", i+1)
+				decls = append(decls,
+					Dep(next, ":"),
+					DepWhen(next, ks+":", "ctrl", ks+":"))
+			}
+			u.Add(fmt.Sprintf("cc%d", i), synthVer(k), decls...)
+		}
+		u.Add("ccx", synthVer(k), ConflWhen("cc0", ks+":", "ctrl", ks+":"))
+	}
+	return u, "cc0"
+}
+
 // SynthUnsatWeb builds an unsatisfiable universe: a root "app" depends on
 // `width` packages "web0".."web<width-1>" (any version), and every version
 // of each web package conflicts with every version of the next one in the

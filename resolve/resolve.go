@@ -2,7 +2,11 @@
 // top of the version -> repo -> sat -> concretize -> resolve stack. It
 // answers "which concrete (package, version) set satisfies these roots,
 // best, under this objective?" through one small interface — Resolver —
-// behind which callers choose a backend:
+// behind which callers choose a backend. Roots may name concrete packages
+// or virtual interfaces ("virtual:mpi@2:", or a bare virtual name): a
+// virtual root is satisfied by any provider whose provided version lies in
+// the range, with the chosen provider weighed at root rank by the
+// objective. The backends:
 //
 //   - SessionResolver fronts a single long-lived concretize.Session: one
 //     warm solver whose learnt clauses, activity, phases, and solution
@@ -52,6 +56,12 @@ type (
 	PkgCost = concretize.PkgCost
 	// UnsatError reports a proven-unsatisfiable request, carrying its roots.
 	UnsatError = concretize.UnsatError
+	// UnknownPackageError reports a request root naming a target the
+	// universe carries in neither namespace: not a concrete package and
+	// not a virtual with a provider (or, for an explicit "virtual:" root,
+	// not a virtual). It is a request error, distinct from
+	// unsatisfiability.
+	UnknownPackageError = concretize.UnknownPackageError
 )
 
 // Typed failure taxonomy, re-exported so serving-tier callers match
@@ -72,13 +82,16 @@ func NewestVersion() Objective { return concretize.NewestVersion{} }
 func MinimalChange(installed repo.Profile) Objective { return concretize.MinimalChange(installed) }
 
 // ParseRoot parses a spec-like request string ("zlib", "zlib@1.2",
-// "zlib@1.2:1.4") into a Root.
+// "zlib@1.2:1.4", or the virtual namespace form "virtual:mpi@2:") into a
+// Root.
 func ParseRoot(s string) (Root, error) { return concretize.ParseRoot(s) }
 
 // Request is one resolution request.
 type Request struct {
-	// Roots are the packages (with version constraints) that must be
-	// installed. Order and duplicates are irrelevant.
+	// Roots are the targets (with version constraints) that must be
+	// satisfied: concrete packages, or virtual names resolved to any
+	// provider whose provided version lies in the range. Order and
+	// duplicates are irrelevant.
 	Roots []Root
 
 	// Objective ranks satisfying resolutions; nil selects NewestVersion.
