@@ -1,13 +1,14 @@
 GO ?= go
 BENCHTIME ?= 0.3s
-PR ?= pr4
+PR ?= pr5
+PREV_PR ?= pr4
 BENCH_JSON ?= BENCH_$(PR).json
 # The perf-trajectory suite: cold concretization, warm Session paths, and
 # the serving-tier portfolio. `make bench` runs it and records the numbers
 # in $(BENCH_JSON) so performance is tracked across PRs.
 BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver
 
-.PHONY: all build vet fmt test race bench fuzz-smoke
+.PHONY: all build vet fmt test race bench benchdiff fuzz-smoke
 
 all: fmt build vet test
 
@@ -32,6 +33,11 @@ bench:
 	./scripts/benchjson.sh $(PR) < .bench_raw.txt > $(BENCH_JSON)
 	@rm -f .bench_raw.txt
 	@echo "wrote $(BENCH_JSON)"
+
+# Per-benchmark ns/op and allocs/op deltas against the previous PR's
+# committed trajectory file; exits non-zero when anything regressed >20%.
+benchdiff:
+	./scripts/benchdiff.sh BENCH_$(PREV_PR).json $(BENCH_JSON)
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzParse$$' -fuzztime=20s ./internal/version/

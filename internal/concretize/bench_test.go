@@ -96,6 +96,63 @@ func BenchmarkSessionWarmMissRotate(b *testing.B) {
 	benchSessionWarm(b, -1, func(i int) []Root { return pool[i%len(pool)] })
 }
 
+// BenchmarkSessionWarmDescent isolates the cost of bound-tightening
+// descent rounds on a warm solver: the request alternates between two
+// objectives with opposite version preferences, so the saved phases always
+// sit on the wrong model and every iteration must walk the bound down from
+// a bad incumbent — the pure descent-round workload, with activation,
+// encoding, and caching all amortized away. Regressions in TightenPB or
+// the descent schedule (per-round allocation, relaxation churn) land
+// directly on this number.
+func BenchmarkSessionWarmDescent(b *testing.B) {
+	u, root := repo.SynthDense(40, 8, 3, 1)
+	sess := NewSession(u, SessionOptions{CacheSize: -1})
+	roots := []Root{{Pkg: root}}
+	objs := [2]Objective{
+		ObjectiveFunc{ID: "newest-heavy", Fn: func(req ObjectiveRequest) (map[string]PkgCost, error) {
+			costs := make(map[string]PkgCost, len(req.Order))
+			for _, name := range req.Order {
+				p, _ := req.Universe.Package(name)
+				pc := PkgCost{Install: 1, Version: make([]int64, p.NumVersions())}
+				for i := range pc.Version {
+					pc.Version[i] = int64(i) * 8 // prefer newest
+				}
+				costs[name] = pc
+			}
+			return costs, nil
+		}},
+		ObjectiveFunc{ID: "oldest-heavy", Fn: func(req ObjectiveRequest) (map[string]PkgCost, error) {
+			costs := make(map[string]PkgCost, len(req.Order))
+			for _, name := range req.Order {
+				p, _ := req.Universe.Package(name)
+				n := p.NumVersions()
+				pc := PkgCost{Install: 1, Version: make([]int64, n)}
+				for i := range pc.Version {
+					pc.Version[i] = int64(n-1-i) * 8 // prefer oldest
+				}
+				costs[name] = pc
+			}
+			return costs, nil
+		}},
+	}
+	for _, obj := range objs {
+		if _, err := sess.Resolve(context.Background(), roots, Options{Objective: obj}); err != nil {
+			b.Fatalf("prime Resolve: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Resolve(context.Background(), roots, Options{Objective: objs[i%2]})
+		if err != nil {
+			b.Fatalf("Resolve: %v", err)
+		}
+		if len(res.Picks) == 0 {
+			b.Fatal("empty resolution")
+		}
+	}
+}
+
 // BenchmarkSessionColdStart measures NewSession itself (fingerprint plus
 // whole-universe skeleton encoding) — the one-time cost a Session
 // amortizes across its lifetime.

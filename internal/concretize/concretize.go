@@ -68,12 +68,33 @@
 // dominates dependency version-lag, which dominates install count. A root
 // naming a virtual weights its provider packages at root rank, so a
 // resolved virtual costs what its chosen provider costs. Each request runs
-// branch-and-bound: solve, record the model and its cost, then add a
-// guarded tightening constraint "guard -> objective <= cost-1" and re-solve
-// assuming the guard, until the solver proves no cheaper model exists.
-// Guards are retired afterwards (fixed false and their PB constraints
+// branch-and-bound between the incumbent's cost and a proven lower bound:
+// solve, record the model and its cost, then enforce "objective <= target"
+// for the next round and re-solve, until the bounds meet. The bound is ONE
+// guarded PB constraint per request — encoded objective + total*guard <=
+// total + target, vacuous while the guard is unassumed — installed once
+// and strengthened in place with sat.TightenPB as the target drops, so a
+// tightening round allocates no solver variable and no constraint slot.
+// The target schedule is sat.Config.Descent: linear stepping below the
+// incumbent (DescentLinear, classic and optimal when the first model is
+// already best), binary-search midpoints (DescentBinary, O(log range)
+// rounds from arbitrarily bad incumbents), or adaptive (the default:
+// linear on a shape's first visit, binary once a bound is banked). Guards
+// are retired at request end (fixed false and their PB constraints
 // garbage-collected), so bounds from past requests never constrain, slow
 // down, or leak memory into future ones.
+//
+// Warm bound banking. A Session additionally memoizes, per request shape
+// (objective key + canonical roots), the reachability order, the lowered
+// objective terms, and the proven lower bound on the optimal cost. The
+// bound is a fact about the formula under that shape's assumptions —
+// later requests only add learnt clauses, never new constraints on the
+// shape — so a repeat request that finds a model matching the banked
+// bound is done after one SAT round, with no refutation and no bound
+// constraint at all. This is what keeps a warm session strictly faster
+// than a cold solve even on request streams that rotate roots and
+// objectives (whose saved-phase cross-pollution otherwise hands descent a
+// terrible first incumbent).
 package concretize
 
 import (

@@ -51,7 +51,10 @@ type SessionOptions struct {
 // across requests instead of being rebuilt and discarded per call. Optimal
 // answers (and definitive unsatisfiability) are memoized in an LRU keyed by
 // (universe fingerprint, canonicalized roots), so repeat requests are
-// answered without touching the solver at all.
+// answered without touching the solver at all. Beneath the answer cache, a
+// bound memo banks each request shape's lowered objective and proven
+// lower bound, so even cache-disabled repeat solves skip the objective
+// lowering and usually skip the closing optimality refutation.
 //
 // A Session is safe for concurrent use: cache lookups take a read lock and
 // solver access is serialized. The universe must not be mutated after
@@ -72,8 +75,22 @@ type Session struct {
 	actsLRU *list.List               // of *actEntry, most-recently-used first
 	actsMax int
 
+	// bounds memoizes per-request-shape solve facts that stay valid for
+	// the session's lifetime: the reachability order, the lowered
+	// objective terms, and — the warm-path keystone — the proven lower
+	// bound on the optimal cost. Guarded by mu.
+	bounds *lru[*boundEntry]
+
+	// Per-request scratch reused across Resolve calls (guarded by mu):
+	// assumption literals, the guarded PB term copy handed to the solver,
+	// and the pinned-activation / root-by-part lookups.
+	assumpsBuf []sat.Lit
+	termsBuf   []sat.PBTerm
+	pinnedBuf  map[sat.Lit]bool
+	byPartBuf  map[string]Root
+
 	cacheMu sync.RWMutex
-	cache   *solutionCache // nil when disabled
+	cache   *lru[cacheEntry] // nil when disabled
 }
 
 // actEntry is one memoized root-activation literal.
@@ -94,24 +111,29 @@ func NewSession(u *repo.Universe, opts SessionOptions) *Session {
 // the catalog.
 func newSession(u *repo.Universe, names []string, opts SessionOptions) *Session {
 	se := &Session{
-		u:       u,
-		solver:  sat.NewWithConfig(opts.Solver),
-		vars:    make(map[string]*pkgVars),
-		virts:   make(map[string]*virtVars),
-		trigs:   make(map[string]sat.Lit),
-		acts:    make(map[string]*list.Element),
-		actsLRU: list.New(),
-		actsMax: opts.MaxActivations,
+		u:         u,
+		solver:    sat.NewWithConfig(opts.Solver),
+		vars:      make(map[string]*pkgVars),
+		virts:     make(map[string]*virtVars),
+		trigs:     make(map[string]sat.Lit),
+		acts:      make(map[string]*list.Element),
+		actsLRU:   list.New(),
+		actsMax:   opts.MaxActivations,
+		pinnedBuf: make(map[sat.Lit]bool),
+		byPartBuf: make(map[string]Root),
 	}
 	if se.actsMax == 0 {
 		se.actsMax = DefaultSessionMaxActivations
 	}
+	// The bound memo shares the activation memo's capacity policy: both
+	// grow with the number of distinct request shapes a session serves.
+	se.bounds = newLRU[*boundEntry](se.actsMax)
 	size := opts.CacheSize
 	if size == 0 {
 		size = DefaultSessionCacheSize
 	}
 	if size > 0 {
-		se.cache = newSolutionCache(size)
+		se.cache = newLRU[cacheEntry](size)
 	}
 	se.encodeSkeleton(names)
 	return se
@@ -404,9 +426,13 @@ func (se *Session) Resolve(ctx context.Context, roots []Root, opts Options) (*Re
 	if obj == nil {
 		obj = DefaultObjective
 	}
+	// The request-shape key: objective semantics plus canonical roots. It
+	// keys the bound memo directly and, prefixed with the universe
+	// fingerprint, the solution cache.
+	shapeKey := obj.Key() + "\x00" + strings.Join(parts, "\x1f")
 	var key string
 	if se.cache != nil {
-		key = se.Fingerprint() + "\x00" + obj.Key() + "\x00" + strings.Join(parts, "\x1f")
+		key = se.Fingerprint() + "\x00" + shapeKey
 	}
 	if res, err, ok := se.cacheGet(key, roots); ok {
 		return res, err
@@ -422,16 +448,33 @@ func (se *Session) Resolve(ctx context.Context, roots []Root, opts Options) (*Re
 	if res, err, ok := se.cacheGet(key, roots); ok {
 		return res, err
 	}
-	res, err := se.solveLocked(ctx, roots, parts, obj, opts)
+	res, err := se.solveLocked(ctx, roots, parts, shapeKey, obj, opts)
 	se.cachePut(key, res, err)
 	return res, err
 }
 
 // solveLocked runs branch-and-bound for one request. Callers hold se.mu.
-func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string, obj Objective, opts Options) (*Resolution, error) {
-	order, err := reachable(se.u, roots)
-	if err != nil {
-		return nil, err
+func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string, shapeKey string, obj Objective, opts Options) (*Resolution, error) {
+	// The bound memo remembers, per request shape, everything a repeat
+	// solve can reuse: the reachability order, the lowered objective
+	// terms, and the proven lower bound on the optimal cost. All three
+	// stay valid for the session's lifetime — the universe is immutable,
+	// the objective is a pure function of (universe, order, roots), and a
+	// bound proven under the request's activation assumptions is a fact
+	// about the formula, which later requests only extend with learnt
+	// clauses (consequences, never new constraints on this shape).
+	memo, _ := se.bounds.get(shapeKey)
+	var order []string
+	var objTerms []sat.PBTerm
+	var total int64
+	if memo != nil {
+		order, objTerms, total = memo.order, memo.terms, memo.total
+	} else {
+		var err error
+		order, err = reachable(se.u, roots)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Map context cancellation onto the solver's asynchronous interrupt so
@@ -459,23 +502,33 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 	}
 
 	// Activation assumptions in canonical order (deduplicated roots map to
-	// one literal each).
-	byPart := make(map[string]Root, len(roots))
+	// one literal each). The lookup maps and the assumption slice are
+	// session-owned scratch: a warm request allocates none of them.
+	byPart := se.byPartBuf
+	clear(byPart)
 	for _, r := range roots {
 		byPart[r.key()] = r
 	}
-	base := make([]sat.Lit, 0, len(parts))
-	pinned := make(map[sat.Lit]bool, len(parts))
+	pinned := se.pinnedBuf
+	clear(pinned)
+	assumps := se.assumpsBuf[:0]
 	for _, part := range parts {
 		a := se.activation(byPart[part])
-		base = append(base, a)
+		assumps = append(assumps, a)
 		pinned[a] = true
 	}
+	nBase := len(assumps)
+	se.assumpsBuf = assumps // retain the (possibly regrown) scratch array
 	se.evictActivations(pinned)
 
-	objTerms, total, err := se.objectiveTerms(obj, order, roots)
-	if err != nil {
-		return nil, err
+	if memo == nil {
+		var err error
+		objTerms, total, err = se.objectiveTerms(obj, order, roots)
+		if err != nil {
+			return nil, err
+		}
+		memo = &boundEntry{order: order, terms: objTerms, total: total}
+		se.bounds.put(shapeKey, memo)
 	}
 
 	s := se.solver
@@ -490,6 +543,8 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 	var best map[string]version.Version
 	var bestCost int64
 	var guard sat.Lit
+	var bound sat.PBRef // live guarded bound constraint (zero: none)
+	var boundAt int64   // target the live constraint enforces under the guard
 	// Retire the active bound guard before every exit: the guard is fixed
 	// false and its PB constraint is dropped from the propagation
 	// structures, so superseded bounds from this request can never slow
@@ -499,15 +554,39 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 		if guard != 0 {
 			s.RetireGuard(guard)
 			guard = 0
+			bound = sat.PBRef{}
 		}
 	}
 	defer retire()
 
-	assumps := append(make([]sat.Lit, 0, len(base)+1), base...)
+	// Objective descent between the proven lower bound and the incumbent.
+	// lo tracks the proven lower bound on the optimal cost (an UNSAT
+	// answer under a guard at target proves optimum > target); it starts
+	// from the memoized bound of earlier requests for the same shape, and
+	// whatever this request proves is banked for the next one. Over-eager
+	// targets cost at most extra UNSAT rounds and can never change the
+	// returned answer.
+	cfg := s.Config()
+	warmBound := memo.proven // a previous request already proved a bound
+	lo := memo.lo            // optimal cost is known to be >= lo
+	proved := false          // this request completed a proof round (an
+	// UNSAT refutation, or optimality itself) — only then is the bank
+	// updated, so a canceled first visit can't masquerade as a warm shape
+	defer func() {
+		if proved {
+			memo.proven = true
+			if lo > memo.lo {
+				memo.lo = lo
+			}
+		}
+	}()
 
 	finish := func(optimal bool) (*Resolution, error) {
 		if err := verify(se.u, roots, best); err != nil {
 			return nil, err
+		}
+		if optimal {
+			lo, proved = bestCost, true // no model costs less than the answer
 		}
 		stats.Cost = bestCost
 		stats.Optimal = optimal
@@ -517,16 +596,6 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 		stats.Propagations = s.Propagations - props0
 		return &Resolution{Picks: best, Stats: stats}, nil
 	}
-
-	// Objective descent: the solver's configured step widens how far each
-	// tightening round reaches below the incumbent. lo tracks the proven
-	// lower bound on the optimal cost (an UNSAT answer under a guard at
-	// target proves optimum > target), so over-eager steps cost at most a
-	// few cheap incremental UNSAT rounds near the optimum and can never
-	// change the returned answer.
-	step := s.Config().DescentStep
-	var lo int64     // optimal cost is known to be >= lo
-	var target int64 // bound the active guard enforces (objective <= target)
 
 	for {
 		// A cancellation between rounds is cheaper to honor here than via
@@ -563,7 +632,7 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 				return nil, unsatError(roots)
 			}
 			// UNSAT under the guard proves optimum > target.
-			lo = target + 1
+			lo, proved = boundAt+1, true
 			if lo >= bestCost {
 				return finish(true)
 			}
@@ -578,35 +647,63 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 				return finish(true)
 			}
 		}
-		// Tighten: guard -> objective <= target, with target stepping down
-		// from the incumbent but never below the proven lower bound.
-		// Encoded as objective + (total-target)*guard <= total, which is
+		// Pick the next bound target in [lo, bestCost-1]. Binary descent
+		// probes the midpoint — far from the incumbent, so a warm solver
+		// whose saved phases sit on a bad model is propagated straight out
+		// of that neighborhood instead of refuting it clause by clause.
+		// Linear descent probes just below the incumbent — fewest rounds
+		// when the first model is already optimal, which is the norm for a
+		// fresh (cold) solver. Adaptive picks linear until a request shape
+		// has a proven bound banked, then switches to binary.
+		var target int64
+		if cfg.Descent == sat.DescentBinary || (cfg.Descent == sat.DescentAdaptive && warmBound) {
+			target = lo + (bestCost-1-lo)/2
+		} else {
+			target = bestCost - cfg.DescentStep
+			if target < lo {
+				target = lo
+			}
+		}
+		// Install or strengthen the bound: guard -> objective <= target,
+		// encoded as objective + total*guard <= total + target, which is
 		// vacuous while the guard is free, so the solver stays reusable.
-		// The previous round's guard is retired first.
-		target = bestCost - step
-		if target < lo {
-			target = lo
-		}
-		retire()
-		if !s.Okay() {
-			return finish(true)
-		}
-		g := sat.Lit(s.NewVar())
-		terms := make([]sat.PBTerm, len(objTerms), len(objTerms)+1)
-		copy(terms, objTerms)
-		terms = append(terms, sat.PBTerm{Lit: g, Weight: total - target})
-		if !s.AddPB(terms, total) {
-			// Unreachable in practice (the guarded constraint is vacuous
-			// until assumed), kept as a safety net: tightening to
-			// bestCost-1 being impossible at the top level proves best
-			// optimal; a wider step proves nothing.
-			if target == bestCost-1 {
+		// A target below the live constraint's is a pure strengthening and
+		// is applied in place — no new variable, constraint, or copy of
+		// the objective terms. Only a relaxation (an UNSAT round pushed lo
+		// above a still-improvable incumbent's probe) retires the guard
+		// and installs a fresh one.
+		if bound.Valid() && target < boundAt {
+			if !s.TightenPB(bound, total+target) {
+				// Unreachable: the guard is unassigned at the top level, so
+				// the constraint keeps slack >= total - sum(level-0-true
+				// objective weights) >= target >= 0.
+				return nil, fmt.Errorf("concretize: internal error: bound %d conflicts at top level", target)
+			}
+		} else {
+			retire()
+			if !s.Okay() {
 				return finish(true)
 			}
-			return nil, fmt.Errorf("concretize: internal error: guarded bound %d rejected at top level", target)
+			g := sat.Lit(s.NewVar())
+			terms := append(append(se.termsBuf[:0], objTerms...), sat.PBTerm{Lit: g, Weight: total})
+			se.termsBuf = terms[:0]
+			var ok bool
+			bound, ok = s.AddPBRef(terms, total+target)
+			if !ok {
+				// Unreachable in practice (the guarded constraint is
+				// vacuous until assumed), kept as a safety net: tightening
+				// to bestCost-1 being impossible at the top level proves
+				// best optimal; a wider probe proves nothing.
+				if target == bestCost-1 {
+					return finish(true)
+				}
+				return nil, fmt.Errorf("concretize: internal error: guarded bound %d rejected at top level", target)
+			}
+			guard = g
 		}
-		guard = g
-		assumps = append(assumps[:len(base)], g)
+		boundAt = target
+		assumps = append(assumps[:nBase], guard)
+		se.assumpsBuf = assumps
 	}
 }
 
@@ -764,6 +861,21 @@ func (se *Session) cachePut(key string, res *Resolution, err error) {
 	se.cacheMu.Unlock()
 }
 
+// boundEntry memoizes the solve facts one request shape (objective key +
+// canonical roots) carries for the session's lifetime: the reachability
+// order, the lowered objective terms with their total weight, and the
+// proven lower bound on the optimal cost. The terms and order slices are
+// shared across requests and must never be mutated; the descent loop
+// copies terms into scratch before appending its guard.
+type boundEntry struct {
+	lo     int64 // optimal cost is proven >= lo for this shape
+	proven bool  // a completed proof backs lo (distinguishes a banked
+	// optimum of zero from "never proved anything")
+	order []string
+	terms []sat.PBTerm
+	total int64
+}
+
 // cacheEntry is one memoized answer: either an optimal resolution or a
 // proof of unsatisfiability.
 type cacheEntry struct {
@@ -772,49 +884,71 @@ type cacheEntry struct {
 	unsat bool
 }
 
-// solutionCache is a plain LRU over cache entries. Callers synchronize.
-type solutionCache struct {
-	max int
+// The memo layers — the solution cache (lru[cacheEntry], callers hold
+// cacheMu) and the bound memo (lru[*boundEntry], callers hold mu; unlike
+// the solution cache it memoizes facts about the *search*, bounds and
+// lowered terms rather than answers, so it stays useful even when the
+// solution cache is disabled) — share one LRU core. The activation memo
+// keeps its own list: its eviction must skip the in-flight request's
+// pinned literals and fix evictees false in the solver.
+
+// lru is a plain least-recently-used map. Callers synchronize.
+type lru[V any] struct {
+	max int // <0: unbounded
 	ll  *list.List
 	m   map[string]*list.Element
 }
 
-type lruItem struct {
+type lruItem[V any] struct {
 	key string
-	ent cacheEntry
+	val V
 }
 
-func newSolutionCache(max int) *solutionCache {
-	return &solutionCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+func newLRU[V any](max int) *lru[V] {
+	return &lru[V]{max: max, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-func (c *solutionCache) len() int { return len(c.m) }
+func (c *lru[V]) len() int { return len(c.m) }
 
-// peek returns the entry without promoting it.
-func (c *solutionCache) peek(key string) (cacheEntry, bool) {
+// peek returns the value without promoting it.
+func (c *lru[V]) peek(key string) (V, bool) {
 	if el, ok := c.m[key]; ok {
-		return el.Value.(*lruItem).ent, true
+		return el.Value.(*lruItem[V]).val, true
 	}
-	return cacheEntry{}, false
+	var zero V
+	return zero, false
 }
 
 // touch promotes the entry to most-recently-used if still present.
-func (c *solutionCache) touch(key string) {
+func (c *lru[V]) touch(key string) {
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 	}
 }
 
-func (c *solutionCache) put(key string, ent cacheEntry) {
+// get is peek + touch.
+func (c *lru[V]) get(key string) (V, bool) {
+	v, ok := c.peek(key)
+	if ok {
+		c.touch(key)
+	}
+	return v, ok
+}
+
+// put inserts or replaces the value, promotes it, and evicts the
+// least-recently-used entries beyond capacity.
+func (c *lru[V]) put(key string, val V) {
 	if el, ok := c.m[key]; ok {
-		el.Value.(*lruItem).ent = ent
+		el.Value.(*lruItem[V]).val = val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&lruItem{key: key, ent: ent})
-	for len(c.m) > c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*lruItem).key)
+	c.m[key] = c.ll.PushFront(&lruItem[V]{key: key, val: val})
+	if c.max >= 0 {
+		for len(c.m) > c.max {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.m, oldest.Value.(*lruItem[V]).key)
+		}
 	}
 }

@@ -20,13 +20,61 @@ type Config struct {
 	RestartBase int64
 
 	// DescentStep is consumed by the branch-and-bound loop layered on top
-	// of this solver (internal/concretize): after finding a model of cost
-	// C it next asks for a model of cost <= C - DescentStep instead of
-	// C - 1, trading extra UNSAT rounds near the optimum for fewer SAT
-	// rounds far from it. The solver itself never reads it; it lives here
-	// so one Config describes a complete portfolio member. Zero selects 1
-	// (classic linear descent).
+	// of this solver (internal/concretize) when descending linearly: after
+	// finding a model of cost C it next asks for a model of cost
+	// <= C - DescentStep instead of C - 1, trading extra UNSAT rounds near
+	// the optimum for fewer SAT rounds far from it. The solver itself
+	// never reads it; it lives here so one Config describes a complete
+	// portfolio member. Zero selects 1 (classic linear descent).
+	// DescentBinary ignores it.
 	DescentStep int64
+
+	// Descent selects how the branch-and-bound loop picks the next bound
+	// target between the proven lower bound and the incumbent cost. Like
+	// DescentStep it is consumed by internal/concretize, never by the
+	// solver itself, and it can never change the returned answer — only
+	// how many solve rounds the proof of optimality takes. The zero value
+	// is DescentAdaptive.
+	Descent DescentStrategy
+}
+
+// DescentStrategy names a bound-target schedule for objective descent.
+type DescentStrategy uint8
+
+const (
+	// DescentAdaptive (the default) descends linearly by DescentStep on a
+	// request shape it has no information about — matching the classic
+	// cold-path behavior, whose first incumbent is usually near-optimal —
+	// and switches to binary-search midpoints as soon as a proven lower
+	// bound for the request is known (a warm session remembers bounds per
+	// request shape). Midpoint probes stay far away from the incumbent,
+	// which avoids the pathological "refute a region right next to the
+	// just-excluded model" rounds that a phase-polluted warm solver can
+	// burn tens of thousands of conflicts on.
+	DescentAdaptive DescentStrategy = iota
+
+	// DescentLinear always probes incumbent - DescentStep (clamped to the
+	// proven lower bound): fewest rounds when the first incumbent is
+	// already optimal, at the risk of slow one-by-one walks down from a
+	// bad incumbent.
+	DescentLinear
+
+	// DescentBinary always probes the midpoint of [lower bound,
+	// incumbent-1]: O(log range) rounds regardless of incumbent quality,
+	// at the cost of a short ladder of UNSAT rounds near the optimum.
+	DescentBinary
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (d DescentStrategy) String() string {
+	switch d {
+	case DescentLinear:
+		return "linear"
+	case DescentBinary:
+		return "binary"
+	default:
+		return "adaptive"
+	}
 }
 
 // DefaultRestartBase is the Luby restart multiplier used when

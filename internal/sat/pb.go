@@ -20,14 +20,36 @@ type pbConstraint struct {
 
 func (p *pbConstraint) weightOf(l Lit) int64 { return p.wmap[l] }
 
+// PBRef is a stable handle for a live PB constraint, returned by AddPBRef
+// and consumed by TightenPB. The zero value refers to no constraint.
+// Handles are generation-checked: once the constraint is retired (its slot
+// recycled by a later AddPB), the stale handle is detected rather than
+// silently aliasing the slot's new tenant.
+type PBRef struct {
+	slot int32  // constraint slot + 1; 0 means "no constraint"
+	gen  uint32 // slot generation at hand-out time
+}
+
+// Valid reports whether the handle refers to a constraint at all (it may
+// still be stale; TightenPB checks the generation).
+func (r PBRef) Valid() bool { return r.slot != 0 }
+
 // AddPB adds the constraint sum(terms) <= k. Terms with non-positive
 // weights are rejected; duplicate literals are merged. Literal order inside
 // the constraint follows first appearance in terms, keeping propagation —
 // and therefore the whole search — deterministic. Returns false if the
 // solver becomes unsatisfiable at the top level.
 func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
+	_, ok := s.AddPBRef(terms, k)
+	return ok
+}
+
+// AddPBRef is AddPB returning a stable handle to the new constraint, so
+// callers that later strengthen the bound in place (TightenPB) can name
+// it. On failure (top-level unsatisfiability) the handle is zero.
+func (s *Solver) AddPBRef(terms []PBTerm, k int64) (PBRef, bool) {
 	if !s.ok {
-		return false
+		return PBRef{}, false
 	}
 	if s.decisionLevel() != 0 {
 		panic("sat: AddPB above decision level 0")
@@ -61,7 +83,7 @@ func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
 	}
 	if p.sumTrue > p.k {
 		s.ok = false
-		return false
+		return PBRef{}, false
 	}
 	var pi int32
 	if n := len(s.pbFree); n > 0 {
@@ -72,11 +94,69 @@ func (s *Solver) AddPB(terms []PBTerm, k int64) bool {
 		s.pbs = append(s.pbs, p)
 		pi = int32(len(s.pbs) - 1)
 	}
+	for int(pi) >= len(s.pbGens) {
+		s.pbGens = append(s.pbGens, 0)
+	}
 	s.pbActive++
 	for _, l := range p.lits {
 		s.pbOcc[l.index()] = append(s.pbOcc[l.index()], pi)
 	}
+	ref := PBRef{slot: pi + 1, gen: s.pbGens[pi]}
 	// initial propagation: literals too heavy to ever be true
+	for i, l := range p.lits {
+		if s.value(l) == lUndef && p.sumTrue+p.weights[i] > p.k {
+			if !s.enqueue(l.Neg(), reason{pb: pi + 1}) {
+				s.ok = false
+				return PBRef{}, false
+			}
+		}
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return PBRef{}, false
+	}
+	return ref, true
+}
+
+// TightenPB lowers the bound of a live PB constraint in place: the
+// constraint sum(terms) <= k becomes sum(terms) <= newK with newK < k.
+// Because lowering k only ever strengthens the constraint, no watcher or
+// occurrence rebuild is needed, every clause learnt from the weaker bound
+// remains a valid consequence, and the counter state (sumTrue) carries
+// over untouched — which is what lets a branch-and-bound descent install
+// its objective bound once and ratchet it downward for the price of an
+// integer store plus any newly forced propagations.
+//
+// Must be called at decision level 0 (between solves): tightening can
+// force literals, and those assignments must land on the permanent level-0
+// trail. Panics on a stale or zero handle and on a non-strengthening newK
+// (>= the current bound). Returns false if the solver becomes
+// unsatisfiable at the top level, exactly like AddPB.
+func (s *Solver) TightenPB(ref PBRef, newK int64) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: TightenPB above decision level 0")
+	}
+	if !ref.Valid() {
+		panic("sat: TightenPB on zero PBRef")
+	}
+	pi := ref.slot - 1
+	if int(pi) >= len(s.pbs) || s.pbs[pi] == nil || s.pbGens[pi] != ref.gen {
+		panic("sat: TightenPB on retired PB constraint")
+	}
+	p := s.pbs[pi]
+	if newK >= p.k {
+		panic("sat: TightenPB must strengthen (newK >= current bound)")
+	}
+	p.k = newK
+	if p.sumTrue > p.k {
+		s.ok = false
+		return false
+	}
+	// Newly forced literals: too heavy to ever be true under the lower
+	// bound (mirrors AddPB's initial propagation).
 	for i, l := range p.lits {
 		if s.value(l) == lUndef && p.sumTrue+p.weights[i] > p.k {
 			if !s.enqueue(l.Neg(), reason{pb: pi + 1}) {
@@ -166,6 +246,7 @@ func (s *Solver) removePB(pi int32) {
 		}
 	}
 	s.pbs[pi] = nil
+	s.pbGens[pi]++ // invalidate outstanding PBRef handles to this slot
 	s.pbFree = append(s.pbFree, pi)
 	s.pbActive--
 }
@@ -215,20 +296,28 @@ func (s *Solver) propagatePB(l Lit) *clause {
 }
 
 // pbConflictClause synthesizes a conflicting clause (all literals false)
-// from the true literals of a violated PB constraint.
+// from the true literals of a violated PB constraint. The returned clause
+// is a per-solver scratch object valid only until the next PB conflict:
+// conflict analysis consumes it immediately and never retains it, so
+// reusing one backing array keeps the conflict-heavy descent rounds off
+// the allocator.
 func (s *Solver) pbConflictClause(p *pbConstraint) *clause {
-	var lits []Lit
+	lits := s.pbConfl.lits[:0]
 	for _, q := range p.lits {
 		if s.value(q) == lTrue {
 			lits = append(lits, q.Neg())
 		}
 	}
-	return &clause{lits: lits}
+	s.pbConfl.lits = lits
+	return &s.pbConfl
 }
 
 // pbReasonLits builds the reason clause for the assignment of variable v
 // forced by PB constraint pi: the implied literal plus the negations of
-// constraint literals that were already true when v was assigned.
+// constraint literals that were already true when v was assigned. The
+// returned slice is per-solver scratch, valid until the next call: analyze
+// and redundant both consume a reason fully before requesting the next
+// one, so a single buffer serves every PB reason in a search.
 func (s *Solver) pbReasonLits(pi int, v int) []Lit {
 	p := s.pbs[pi]
 	var implied Lit
@@ -237,13 +326,14 @@ func (s *Solver) pbReasonLits(pi int, v int) []Lit {
 	} else {
 		implied = Lit(-int32(v))
 	}
-	lits := []Lit{implied}
+	lits := append(s.pbReasonBuf[:0], implied)
 	vpos := s.trailPosOf(v)
 	for _, q := range p.lits {
 		if s.value(q) == lTrue && s.trailPosOf(q.Var()) < vpos {
 			lits = append(lits, q.Neg())
 		}
 	}
+	s.pbReasonBuf = lits
 	return lits
 }
 

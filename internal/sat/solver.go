@@ -123,13 +123,16 @@ type Solver struct {
 
 	// PB constraints
 	pbs      []*pbConstraint
+	pbGens   []uint32  // slot -> generation, bumped on retirement (validates PBRefs)
 	pbOcc    [][]int32 // literal index -> PB constraints watching that literal
 	pbFree   []int32   // retired constraint slots available for reuse
 	pbActive int       // constraints added and not retired
 
 	// conflict analysis scratch
-	seen       []bool
-	analyzeTmp []Lit
+	seen        []bool
+	analyzeTmp  []Lit
+	pbReasonBuf []Lit  // reused by pbReasonLits (one live reason at a time)
+	pbConfl     clause // reused by pbConflictClause (one live conflict at a time)
 
 	ok bool // false once a top-level conflict is found
 
@@ -676,8 +679,13 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		// decide
 		v := s.pickBranchVar()
 		if v == 0 {
-			// model found
-			s.model = make([]lbool, s.nVars+1)
+			// model found; reuse the model buffer across solves (callers
+			// read it via ValueOf before the next solve)
+			if cap(s.model) <= s.nVars {
+				s.model = make([]lbool, s.nVars+1)
+			} else {
+				s.model = s.model[:s.nVars+1]
+			}
 			copy(s.model, s.assigns)
 			s.cancelUntil(0)
 			return Sat

@@ -1,0 +1,151 @@
+package sat
+
+import "testing"
+
+// TestTightenPBStrengthens: lowering k must immediately constrain the next
+// solve, and the counter state carried over from the weaker bound must
+// stay correct across repeated tightenings.
+func TestTightenPBStrengthens(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	ref, ok := s.AddPBRef([]PBTerm{{Lit(a), 4}, {Lit(b), 2}, {Lit(c), 1}}, 7)
+	if !ok || !ref.Valid() {
+		t.Fatal("AddPBRef failed")
+	}
+	s.AddClause(Lit(c)) // c true at level 0: sumTrue = 1 carried forward
+	if got := s.Solve(Lit(a), Lit(b)); got != Sat {
+		t.Fatalf("Solve under 7 = %v, want Sat (4+2+1 <= 7)", got)
+	}
+	if !s.TightenPB(ref, 5) {
+		t.Fatal("TightenPB to 5 should keep the solver consistent")
+	}
+	if got := s.Solve(Lit(a), Lit(b)); got != Unsat {
+		t.Fatalf("Solve a,b under 5 = %v, want Unsat (4+2+1 > 5)", got)
+	}
+	if got := s.Solve(Lit(a)); got != Sat {
+		t.Fatalf("Solve a under 5 = %v, want Sat (4+1 <= 5)", got)
+	}
+	if s.ValueOf(b) {
+		t.Error("b must be false: 4+2+1 exceeds the tightened bound")
+	}
+	// Tighten again: now even a alone (with forced c) no longer fits, so
+	// the tighten call itself must propagate !a at the top level.
+	if !s.TightenPB(ref, 3) {
+		t.Fatal("TightenPB to 3 should keep the solver consistent")
+	}
+	if s.value(Lit(a)) != lFalse {
+		t.Error("a should be forced false at level 0 by the tighten (4+1 > 3)")
+	}
+	if got := s.Solve(Lit(a)); got != Unsat {
+		t.Fatalf("Solve a under 3 = %v, want Unsat", got)
+	}
+	if got := s.Solve(Lit(b)); got != Sat {
+		t.Fatalf("Solve b under 3 = %v, want Sat (2+1 <= 3)", got)
+	}
+}
+
+// TestTightenPBTopLevelConflict: tightening below the weight already
+// committed at level 0 is a top-level contradiction and must report it
+// exactly like AddPB does.
+func TestTightenPBTopLevelConflict(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	ref, ok := s.AddPBRef([]PBTerm{{Lit(a), 3}, {Lit(b), 2}}, 5)
+	if !ok {
+		t.Fatal("AddPBRef failed")
+	}
+	s.AddClause(Lit(a))
+	s.AddClause(Lit(b))
+	if s.TightenPB(ref, 4) {
+		t.Fatal("TightenPB below the level-0 committed weight must fail")
+	}
+	if s.Okay() {
+		t.Error("solver must be inconsistent after a failed tighten")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+}
+
+// TestTightenPBContracts: the misuse paths are programming errors and
+// must panic rather than silently corrupt the constraint store.
+func TestTightenPBContracts(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	ref, _ := s.AddPBRef([]PBTerm{{Lit(a), 2}, {Lit(b), 3}}, 4)
+
+	mustPanic("zero ref", func() { s.TightenPB(PBRef{}, 1) })
+	mustPanic("non-strengthening equal k", func() { s.TightenPB(ref, 4) })
+	mustPanic("non-strengthening larger k", func() { s.TightenPB(ref, 9) })
+
+	// Retiring recycles the slot; the old handle must be detected as
+	// stale even after a new constraint moves in.
+	g := Lit(s.NewVar())
+	gref, _ := s.AddPBRef([]PBTerm{{Lit(a), 2}, {g, 5}}, 7)
+	if !s.RetireGuard(g) {
+		t.Fatal("RetireGuard failed")
+	}
+	c := s.NewVar()
+	if _, ok := s.AddPBRef([]PBTerm{{Lit(c), 1}}, 1); !ok {
+		t.Fatal("AddPBRef into recycled slot failed")
+	}
+	mustPanic("stale ref after retirement", func() { s.TightenPB(gref, 1) })
+}
+
+// TestTightenPBSlotStability: a 100-round descent-style tighten loop must
+// not allocate constraint slots or occurrence-list entries — that is the
+// whole point of tightening in place.
+func TestTightenPBSlotStability(t *testing.T) {
+	s := New()
+	const n = 10
+	terms := make([]PBTerm, n)
+	var total int64
+	for i := range terms {
+		terms[i] = PBTerm{Lit: Lit(s.NewVar()), Weight: int64(i + 1)}
+		total += int64(i + 1)
+	}
+	ref, ok := s.AddPBRef(terms, total+100)
+	if !ok {
+		t.Fatal("AddPBRef failed")
+	}
+	slots, occ, vars := s.PBSlots(), s.PBOccupancy(), s.NumVars()
+	for k := total + 99; k > total-1; k-- {
+		if !s.TightenPB(ref, k) {
+			t.Fatalf("TightenPB to %d failed", k)
+		}
+		if got := s.Solve(); got != Sat {
+			t.Fatalf("k=%d: Solve = %v, want Sat", k, got)
+		}
+		var sum int64
+		for _, tm := range terms {
+			if s.ValueOf(tm.Lit.Var()) {
+				sum += tm.Weight
+			}
+		}
+		if sum > k {
+			t.Fatalf("k=%d: model weight %d violates the tightened bound", k, sum)
+		}
+	}
+	if s.PBSlots() != slots {
+		t.Errorf("PBSlots grew: %d -> %d", slots, s.PBSlots())
+	}
+	if s.PBOccupancy() != occ {
+		t.Errorf("PBOccupancy changed: %d -> %d", occ, s.PBOccupancy())
+	}
+	if s.NumVars() != vars {
+		t.Errorf("NumVars grew: %d -> %d", vars, s.NumVars())
+	}
+	if s.ActivePBs() != 1 {
+		t.Errorf("ActivePBs = %d, want 1", s.ActivePBs())
+	}
+}

@@ -20,21 +20,25 @@ type BackendConfig struct {
 }
 
 // DefaultPortfolio returns the stock member set: complementary heuristics
-// so that whichever trajectory suits the request wins the race.
+// — branching polarity, restart schedule, and descent strategy — so that
+// whichever trajectory suits the request wins the race.
 func DefaultPortfolio() []BackendConfig {
 	return []BackendConfig{
 		// The defaults: negative-first branching ("install nothing extra"
-		// first), standard restarts, linear objective descent.
+		// first), standard restarts, adaptive descent (linear on unseen
+		// request shapes, binary search once a bound is banked).
 		{Name: "baseline", Options: SessionOptions{}},
 		// Positive-first branching commits to installs early — strong when
 		// the optimum installs most of the reachable set.
 		{Name: "positive", Options: SessionOptions{Solver: sat.Config{PositiveFirst: true}}},
-		// Aggressive restarts plus a wide descent step: rushes the
-		// incumbent down on objective-heavy requests.
-		{Name: "dive", Options: SessionOptions{Solver: sat.Config{RestartBase: 40, DescentStep: 8}}},
+		// Aggressive restarts plus wide linear descent steps: rushes the
+		// incumbent down on objective-heavy requests where the first model
+		// is already near-optimal.
+		{Name: "dive", Options: SessionOptions{Solver: sat.Config{RestartBase: 40, Descent: sat.DescentLinear, DescentStep: 8}}},
 		// Patient restarts for deep refutations (unsat proofs, tight
-		// conflict webs).
-		{Name: "steady", Options: SessionOptions{Solver: sat.Config{RestartBase: 400, DescentStep: 2}}},
+		// conflict webs) with binary-search descent, which bounds the
+		// round count even when the incumbent starts far from the optimum.
+		{Name: "steady", Options: SessionOptions{Solver: sat.Config{RestartBase: 400, Descent: sat.DescentBinary}}},
 	}
 }
 

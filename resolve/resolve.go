@@ -14,8 +14,18 @@
 //   - PortfolioResolver races several differently-configured Sessions per
 //     request and returns the first definitive answer, canceling the
 //     losers through the solver's interrupt. Configurations differ only
-//     in search heuristics, so every member returns cost-identical
-//     answers — racing changes latency, never results.
+//     in search heuristics — branching polarity, restart schedule, and
+//     the objective-descent strategy (sat.Config.Descent: adaptive,
+//     linear stepping, or binary search between the incumbent and the
+//     proven lower bound) — so every member returns cost-identical
+//     answers; racing changes latency, never results.
+//
+// Warm requests are cheap twice over: beyond the solution cache, each
+// Session banks per-request-shape facts — the lowered objective and the
+// proven lower bound on its optimal cost — so a repeat request usually
+// proves optimality without a single refutation round, and descent
+// tightens one in-place pseudo-Boolean bound instead of allocating
+// constraints per round.
 //
 // Requests are context-aware end to end: canceling the request context
 // (or exceeding its deadline) interrupts in-flight solves promptly and

@@ -1,0 +1,64 @@
+#!/bin/sh
+# benchdiff.sh <old.json> <new.json> — compare two BENCH_pr<N>.json files
+# (as written by benchjson.sh) and print per-benchmark ns/op and allocs/op
+# deltas. Regressions beyond 20% are flagged with "REGRESSION"; benchmarks
+# present in only one file are listed as added/removed. Exits 1 when any
+# regression is flagged, so CI can surface it — wire it in as non-blocking
+# (continue-on-error): bench numbers from shared runners are noisy, and the
+# committed JSONs are measured locally.
+set -eu
+old="${1:?usage: benchdiff.sh <old.json> <new.json>}"
+new="${2:?usage: benchdiff.sh <old.json> <new.json>}"
+
+awk -v oldfile="$old" -v newfile="$new" '
+function parse(line, kv,   name, ns, allocs) {
+    # one benchmark entry per line: extract "name", ns_per_op, allocs_per_op
+    if (match(line, /"name": "[^"]*"/) == 0) return ""
+    name = substr(line, RSTART + 9, RLENGTH - 10)
+    ns = ""; allocs = ""
+    if (match(line, /"ns_per_op": [0-9.]+/))
+        ns = substr(line, RSTART + 13, RLENGTH - 13)
+    if (match(line, /"allocs_per_op": [0-9.]+/))
+        allocs = substr(line, RSTART + 17, RLENGTH - 17)
+    kv[name "/ns"] = ns
+    kv[name "/allocs"] = allocs
+    return name
+}
+function pct(o, n) {
+    if (o == 0) return 0
+    return (n - o) * 100.0 / o
+}
+function fmtpct(p) {
+    return sprintf("%+.1f%%", p)
+}
+BEGIN {
+    while ((getline line < oldfile) > 0) {
+        name = parse(line, oldv)
+        if (name != "") oldnames[name] = 1
+    }
+    while ((getline line < newfile) > 0) {
+        name = parse(line, newv)
+        if (name != "") { newnames[name] = 1; order[++n] = name }
+    }
+    printf "%-42s %14s %14s %9s   %8s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old al", "new al", "delta"
+    bad = 0
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        if (!(name in oldnames)) {
+            printf "%-42s %14s %14s %9s   (added)\n", name, "-", newv[name "/ns"], "-"
+            continue
+        }
+        ons = oldv[name "/ns"] + 0; nns = newv[name "/ns"] + 0
+        oal = oldv[name "/allocs"] + 0; nal = newv[name "/allocs"] + 0
+        dns = pct(ons, nns); dal = pct(oal, nal)
+        flag = ""
+        if (dns > 20 || dal > 20) { flag = "  REGRESSION"; bad = 1 }
+        printf "%-42s %14d %14d %9s   %8d %8d %9s%s\n", name, ons, nns, fmtpct(dns), oal, nal, fmtpct(dal), flag
+    }
+    for (name in oldnames) {
+        if (!(name in newnames))
+            printf "%-42s %14s %14s %9s   (removed)\n", name, oldv[name "/ns"], "-", "-"
+    }
+    exit bad
+}
+'
