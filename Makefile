@@ -1,12 +1,12 @@
 GO ?= go
 BENCHTIME ?= 0.3s
-PR ?= pr5
-PREV_PR ?= pr4
+PR ?= pr6
+PREV_PR ?= pr5
 BENCH_JSON ?= BENCH_$(PR).json
 # The perf-trajectory suite: cold concretization, warm Session paths, and
 # the serving-tier portfolio. `make bench` runs it and records the numbers
 # in $(BENCH_JSON) so performance is tracked across PRs.
-BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver
+BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver|BenchmarkSessionChurn|BenchmarkSessionExtend
 
 .PHONY: all build vet fmt test race bench benchdiff fuzz-smoke
 

@@ -224,3 +224,146 @@ func BenchmarkConcretizeUnsatWeb(b *testing.B) {
 		}
 	}
 }
+
+// The BenchmarkSessionChurn* benchmarks measure the live-universe path:
+// a serving session absorbing a stream of append-only deltas while
+// answering a fixed working set of request shapes. The universe is eight
+// independent root->mid->leaf clusters, and each delta adds one new leaf
+// version to one rotating cluster — so per delta, seven of the eight
+// shapes are untouched (their cached answers must survive invalidation)
+// and one must be re-solved.
+//
+//   - SessionChurn: Extend in place + resolve all eight shapes (7 cache
+//     hits, 1 re-solve) on one warm session.
+//   - SessionChurnColdRebuild: the same delta stream answered the pre-live
+//     way — mutate the universe, re-encode a fresh session from scratch,
+//     re-solve all eight shapes cold. The warm/cold ratio is the payoff of
+//     in-place extension with delta-scoped invalidation.
+//   - SessionExtend: the Extend call alone (skeleton growth plus
+//     invalidation sweep), isolating the delta-application cost itself.
+//
+// Both churn benchmarks rebuild the universe every 64 deltas (off the
+// clock) so steady-state cost is measured rather than unbounded catalog
+// growth.
+
+const churnClusters = 8
+
+func benchChurnUniverse() *repo.Universe {
+	u := repo.New()
+	for c := 0; c < churnClusters; c++ {
+		for k := 4; k >= 1; k-- {
+			v := fmt.Sprintf("%d.0", k)
+			u.Add(fmt.Sprintf("root%d", c), v, repo.Dep(fmt.Sprintf("mid%d", c), ":"))
+			u.Add(fmt.Sprintf("mid%d", c), v, repo.Dep(fmt.Sprintf("leaf%d", c), ":"))
+			u.Add(fmt.Sprintf("leaf%d", c), v)
+		}
+	}
+	return u
+}
+
+func churnRoots() [][]Root {
+	shapes := make([][]Root, churnClusters)
+	for c := range shapes {
+		shapes[c] = []Root{{Pkg: fmt.Sprintf("root%d", c)}}
+	}
+	return shapes
+}
+
+func BenchmarkSessionChurn(b *testing.B) {
+	shapes := churnRoots()
+	var (
+		u    *repo.Universe
+		sess *Session
+	)
+	next := 0
+	rebuild := func() {
+		u = benchChurnUniverse()
+		sess = NewSession(u, SessionOptions{})
+		for _, roots := range shapes {
+			if _, err := sess.Resolve(context.Background(), roots, Options{}); err != nil {
+				b.Fatalf("prime Resolve: %v", err)
+			}
+		}
+	}
+	rebuild()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%64 == 0 {
+			b.StopTimer()
+			rebuild()
+			b.StartTimer()
+		}
+		next++
+		d := repo.NewDelta()
+		d.Add(fmt.Sprintf("leaf%d", i%churnClusters), fmt.Sprintf("4.%d", next))
+		if _, err := sess.Extend(d); err != nil {
+			b.Fatalf("Extend: %v", err)
+		}
+		for _, roots := range shapes {
+			res, err := sess.Resolve(context.Background(), roots, Options{})
+			if err != nil {
+				b.Fatalf("Resolve: %v", err)
+			}
+			if len(res.Picks) == 0 {
+				b.Fatal("empty resolution")
+			}
+		}
+	}
+}
+
+func BenchmarkSessionChurnColdRebuild(b *testing.B) {
+	shapes := churnRoots()
+	var u *repo.Universe
+	u = benchChurnUniverse()
+	next := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%64 == 0 {
+			b.StopTimer()
+			u = benchChurnUniverse()
+			b.StartTimer()
+		}
+		next++
+		d := repo.NewDelta()
+		d.Add(fmt.Sprintf("leaf%d", i%churnClusters), fmt.Sprintf("4.%d", next))
+		if _, err := u.Apply(d); err != nil {
+			b.Fatalf("Apply: %v", err)
+		}
+		sess := NewSession(u, SessionOptions{})
+		for _, roots := range shapes {
+			res, err := sess.Resolve(context.Background(), roots, Options{})
+			if err != nil {
+				b.Fatalf("Resolve: %v", err)
+			}
+			if len(res.Picks) == 0 {
+				b.Fatal("empty resolution")
+			}
+		}
+	}
+}
+
+func BenchmarkSessionExtend(b *testing.B) {
+	var sess *Session
+	next := 0
+	rebuild := func() {
+		sess = NewSession(benchChurnUniverse(), SessionOptions{})
+	}
+	rebuild()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%64 == 0 {
+			b.StopTimer()
+			rebuild()
+			b.StartTimer()
+		}
+		next++
+		d := repo.NewDelta()
+		d.Add(fmt.Sprintf("leaf%d", i%churnClusters), fmt.Sprintf("4.%d", next))
+		if _, err := sess.Extend(d); err != nil {
+			b.Fatalf("Extend: %v", err)
+		}
+	}
+}

@@ -47,12 +47,15 @@
 //     candidates are its providers filtered by provided version; each
 //     conflict (t, R) becomes binary clauses !x_{p,v} | !x_{c} per matching
 //     candidate. A conditional declaration is guarded behind its trigger
-//     literal z — a memoized variable with x_{c} -> z for every candidate
-//     of the trigger inside its range — so the clause constrains only in
-//     models that actually select the trigger:
-//     x_{p,v} AND z -> (dep-or-conflict clause). With no roots asserted the
-//     skeleton is satisfied by installing nothing, so it can never drive
-//     the solver into a top-level conflict.
+//     literal z — a memoized support variable with x_{c} -> z for every
+//     candidate of the trigger inside its range — so the clause constrains
+//     only in models that actually select the trigger:
+//     x_{p,v} AND z -> (dep-or-conflict clause). Support literals are
+//     allocated with sat.Solver.NewAuxVar, so the solver defines them by
+//     propagation but never branches on them: richer declaration forms do
+//     not widen the search space. With no roots asserted the skeleton is
+//     satisfied by installing nothing, so it can never drive the solver
+//     into a top-level conflict.
 //
 //   - Activation (per request): each root (t, R) is represented by a
 //     reusable assumption literal a with permanent clauses a -> y_t (the
@@ -95,6 +98,20 @@
 // than a cold solve even on request streams that rotate roots and
 // objectives (whose saved-phase cross-pollution otherwise hands descent a
 // terrible first incumbent).
+//
+// Live universes. Session.Extend (extend.go) applies a repo.Delta to the
+// bound universe and grows the encoded skeleton in place — new variables
+// and clauses are appended, requirement clauses whose candidate sets
+// widened are detached and re-emitted over the current candidates, and
+// parked declarations (dead dependency targets, dormant triggers, vacuous
+// conflicts) are revived — instead of rebuilding the session. Learnt
+// clauses are dropped once per delta (widening invalidates them), while
+// VSIDS activity and saved phases persist. Invalidation of the solution
+// cache and the bound memo is delta-scoped: each entry records the names
+// its request could reach, and only entries intersecting the delta's
+// touched set are evicted, so a request untouched by a delta keeps its
+// cached answer with zero new solver work. Stats.Epoch reports the
+// universe epoch an answer was computed at.
 package concretize
 
 import (
@@ -105,6 +122,7 @@ import (
 	"strings"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+	"github.com/paper-repo-growth/go-arxiv/internal/sat"
 	"github.com/paper-repo-growth/go-arxiv/internal/version"
 )
 
@@ -201,7 +219,22 @@ type Stats struct {
 	Improvements int   // models found (first model plus each strict improvement)
 	Cost         int64 // objective value of the returned resolution
 	Optimal      bool  // false only when the conflict budget expired early
-	CacheHit     bool  // true when served from a Session's solution cache
+
+	// SolutionCacheHit marks answers served from a Session's solution
+	// cache without touching the solver; BoundMemoHit marks solves that
+	// reused the request shape's banked reachability/objective/bound
+	// facts. Together they make churn-invalidation behavior observable:
+	// after a delta, untouched shapes keep reporting hits while touched
+	// shapes re-solve.
+	SolutionCacheHit bool
+	BoundMemoHit     bool
+
+	// Epoch is the universe epoch the answer was computed at (0 for a
+	// never-mutated universe). Cached answers report the epoch they were
+	// solved at, which delta-scoped invalidation guarantees is still
+	// semantically current for their request shape.
+	Epoch repo.Epoch
+
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
@@ -269,17 +302,25 @@ func canceledError(err error) error {
 	return fmt.Errorf("concretize: request canceled: %w", err)
 }
 
-// pkgVars holds the solver variables for one encoded package.
+// pkgVars holds the solver variables for one encoded package, plus the
+// handles to the clauses a skeleton extension re-emits when the package
+// gains versions: the y_p -> OR_v x_{p,v} disjunction and the at-most-one
+// PB row, both widened by detach (remove) + re-add.
 type pkgVars struct {
 	pkg       *repo.Package
 	installed int   // y_p
 	vers      []int // x_{p,v}, parallel to pkg.Versions() (newest first)
+
+	orRef  sat.ClauseRef // y_p -> OR_v x_{p,v}
+	amoRef sat.PBRef     // at-most-one over vers (zero when < 2 versions)
 }
 
 // virtVars holds the solver variables for one encoded virtual: the "needed"
-// variable backing provider-selection clauses and root activations.
+// variable backing provider-selection clauses and root activations, plus
+// the handle to the provider-selection clause for widening.
 type virtVars struct {
-	needed int // y_virt
+	needed int           // y_virt
+	selRef sat.ClauseRef // y_virt -> OR providers
 }
 
 // rootCandidates is the single place root namespace rules live: a bare
@@ -334,13 +375,26 @@ func rootTargets(u *repo.Universe, r Root) ([]string, error) {
 // (a trigger can only deactivate a dependency, never add targets). Trigger
 // packages themselves are not traversed: a trigger outside the reachable
 // set can never be installed, so the declarations it guards stay dormant.
-// The result scopes a request's objective and decoded picks.
-func reachable(u *repo.Universe, roots []Root) ([]string, error) {
+// The order scopes a request's objective and decoded picks.
+//
+// The second result is the request shape's recorded reach set — the name
+// universe whose growth can change this shape's answer, which delta-scoped
+// invalidation intersects with each delta's touched names. It holds the
+// reachable packages plus every name a traversed dependency or root
+// targets, even when the name currently matches nothing (an unknown or
+// empty-range target: a delta adding it must invalidate). Conflict targets
+// and condition triggers are deliberately absent: a trigger or conflict
+// candidate outside the reach set can never be installed in a
+// cost-relevant model (every optimal model extends with the complement
+// uninstalled), so growth there cannot change the shape's answer.
+func reachable(u *repo.Universe, roots []Root) ([]string, map[string]bool, error) {
 	var order []string
 	seen := map[string]bool{}
+	reach := map[string]bool{}
 	var queue []string
 	enqueue := func(pkgs []string) {
 		for _, name := range pkgs {
+			reach[name] = true
 			if !seen[name] {
 				seen[name] = true
 				queue = append(queue, name)
@@ -348,9 +402,10 @@ func reachable(u *repo.Universe, roots []Root) ([]string, error) {
 		}
 	}
 	for _, r := range roots {
+		reach[r.Pkg] = true // a delta growing the root's own name must invalidate
 		targets, err := rootTargets(u, r)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		enqueue(targets)
 	}
@@ -362,12 +417,15 @@ func reachable(u *repo.Universe, roots []Root) ([]string, error) {
 		for _, def := range p.Versions() {
 			for _, d := range def.Deps {
 				// Unknown targets are encoded as unbuildable versions and
-				// contribute nothing to the closure (TargetPackages is nil).
+				// contribute nothing to the closure (TargetPackages is nil) —
+				// but they are recorded: a delta introducing the name revives
+				// the dependency and must invalidate this shape.
+				reach[d.Pkg] = true
 				enqueue(u.TargetPackages(d.Pkg))
 			}
 		}
 	}
-	return order, nil
+	return order, reach, nil
 }
 
 // pickSatisfies reports whether the picks contain a selection satisfying a
@@ -468,12 +526,12 @@ func Concretize(u *repo.Universe, roots []Root, opts Options) (*Resolution, erro
 	if len(roots) == 0 {
 		return &Resolution{Picks: map[string]version.Version{}, Stats: Stats{Optimal: true}}, nil
 	}
-	scope, err := reachable(u, roots)
+	scope, _, err := reachable(u, roots)
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(scope)
-	return newSession(u, scope, SessionOptions{CacheSize: -1}).Resolve(context.Background(), roots, opts)
+	return newSession(u, scope, SessionOptions{CacheSize: -1}, false).Resolve(context.Background(), roots, opts)
 }
 
 func rootsString(roots []Root) string {

@@ -124,7 +124,7 @@ func TestBinaryDescentSolveCallsLogarithmic(t *testing.T) {
 		roots := []Root{{Pkg: root}}
 
 		// The objective's total weight bounds the descent range.
-		order, err := reachable(u, roots)
+		order, _, err := reachable(u, roots)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +228,7 @@ func TestBoundMemoRepeatRequestStable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.Stats.CacheHit {
+		if res.Stats.SolutionCacheHit {
 			t.Fatal("cache disabled, yet served from cache")
 		}
 		if res.Stats.Cost != first.Stats.Cost || !res.Stats.Optimal {

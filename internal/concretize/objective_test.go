@@ -187,15 +187,15 @@ func TestObjectiveCacheSeparation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !n2.Stats.CacheHit || n2.Picks["app"].String() != "2.0" {
-		t.Fatalf("newest repeat: hit=%v picks=%v", n2.Stats.CacheHit, n2.Picks)
+	if !n2.Stats.SolutionCacheHit || n2.Picks["app"].String() != "2.0" {
+		t.Fatalf("newest repeat: hit=%v picks=%v", n2.Stats.SolutionCacheHit, n2.Picks)
 	}
 	o2, err := sess.Resolve(ctx, roots, Options{Objective: oldestObjective})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !o2.Stats.CacheHit || o2.Picks["app"].String() != "1.0" {
-		t.Fatalf("oldest repeat: hit=%v picks=%v", o2.Stats.CacheHit, o2.Picks)
+	if !o2.Stats.SolutionCacheHit || o2.Picks["app"].String() != "1.0" {
+		t.Fatalf("oldest repeat: hit=%v picks=%v", o2.Stats.SolutionCacheHit, o2.Picks)
 	}
 }
 

@@ -50,30 +50,61 @@ type SessionOptions struct {
 // solver, so learnt clauses, VSIDS activity, and saved phases accumulate
 // across requests instead of being rebuilt and discarded per call. Optimal
 // answers (and definitive unsatisfiability) are memoized in an LRU keyed by
-// (universe fingerprint, canonicalized roots), so repeat requests are
-// answered without touching the solver at all. Beneath the answer cache, a
-// bound memo banks each request shape's lowered objective and proven
-// lower bound, so even cache-disabled repeat solves skip the objective
-// lowering and usually skip the closing optimality refutation.
+// the canonical request shape (objective key + canonicalized roots), so
+// repeat requests are answered without touching the solver at all. Beneath
+// the answer cache, a bound memo banks each request shape's lowered
+// objective and proven lower bound, so even cache-disabled repeat solves
+// skip the objective lowering and usually skip the closing optimality
+// refutation.
+//
+// A live universe grows through Session.Extend (see extend.go): the
+// skeleton is widened in place and only the cache/memo entries whose
+// recorded reach set intersects the delta are invalidated, which is what
+// keeps shape keys (rather than fingerprint-qualified keys) sound across
+// epochs.
 //
 // A Session is safe for concurrent use: cache lookups take a read lock and
-// solver access is serialized. The universe must not be mutated after
-// NewSession.
+// solver access is serialized. The universe must not be mutated behind the
+// session's back — growth arrives only via Extend (or, for a shared
+// universe, via a sibling session's Extend between this session's own
+// Extend calls; see the epoch contract on Extend).
 type Session struct {
-	u      *repo.Universe
-	fpOnce sync.Once
-	fp     string
+	u     *repo.Universe
+	epoch repo.Epoch // universe epoch the skeleton reflects (guarded by mu)
+	full  bool       // skeleton covers the whole universe (Extend requires it)
 
 	// mu serializes all solver access (the encoding, activation literals,
 	// and the branch-and-bound loop all mutate solver state).
 	mu      sync.Mutex
 	solver  *sat.Solver
 	vars    map[string]*pkgVars
-	virts   map[string]*virtVars     // encoded virtuals (provider in scope)
-	trigs   map[string]sat.Lit       // memoized condition literals, by "pkg@range"
-	acts    map[string]*list.Element // canonical root key -> activation entry
-	actsLRU *list.List               // of *actEntry, most-recently-used first
+	virts   map[string]*virtVars // encoded virtuals (provider in scope)
+	acts    map[string]*list.Element
+	actsLRU *list.List // of *actEntry, most-recently-used first
 	actsMax int
+
+	// Requirement lowering state, all keyed by "name@range" with a
+	// name-index alongside so a delta touching a name finds every affected
+	// key without scanning:
+	//
+	//   - defs: requirement keys recording every dependency site whose
+	//     inlined clause (xi [AND z] -> OR matching-candidates) mentions the
+	//     key's candidate set. Most keys have exactly one user, so the
+	//     clause is emitted directly (no shared indirection literal); a
+	//     delta that widens the candidate set detaches each user's clause
+	//     and re-runs its declaration.
+	//   - sups: support literals z with x_c -> z per matching candidate,
+	//     used for condition triggers and (negated) for conflict targets.
+	//     Widening is purely additive: new support clauses for new
+	//     candidates.
+	//   - pendingByName: declarations currently unemittable (dormant
+	//     trigger, empty dependency target, vacuous conflict) parked under
+	//     the name whose growth would change them.
+	defs          map[string]*reqDef
+	defsByName    map[string][]string
+	sups          map[string]*supEntry
+	supsByName    map[string][]string
+	pendingByName map[string][]declSite
 
 	// bounds memoizes per-request-shape solve facts that stay valid for
 	// the session's lifetime: the reachability order, the lowered
@@ -93,34 +124,86 @@ type Session struct {
 	cache   *lru[cacheEntry] // nil when disabled
 }
 
-// actEntry is one memoized root-activation literal.
+// actEntry is one memoized root-activation literal. target is the root's
+// requested name (package or virtual): a delta touching it evicts the
+// activation, whose candidate clauses are stale.
 type actEntry struct {
-	key string
-	lit sat.Lit
+	key    string
+	target string
+	lit    sat.Lit
+}
+
+// declID names one declaration — the idx'th dependency or conflict of
+// (pkg, ver) — stably across delta-driven index shifts and variable
+// reallocation. The encoder re-fetches the declaration and the version's
+// current variable through it whenever a parked or widened declaration is
+// re-emitted.
+type declID struct {
+	pkg      string
+	ver      version.Version
+	conflict bool
+	idx      int
+}
+
+// declSite is a declaration occurrence with the clause it emitted (zero
+// when nothing was emitted): a def usage, or a parked pending entry whose
+// pruning clause must be detached on revival.
+type declSite struct {
+	id  declID
+	ref sat.ClauseRef
+}
+
+// reqDef is one shared requirement key "name@range": users records every
+// dependency site whose requirement clause (xi [AND trigger] -> OR
+// matching candidates) was emitted against the key, each with the
+// ClauseRef of its inlined clause. When a delta grows the key's candidate
+// set, Extend detaches each user's clause and re-runs the declaration so
+// the clause is re-emitted over the current candidates.
+type reqDef struct {
+	name  string
+	rng   version.Range
+	users []declSite
+}
+
+// supEntry is one support key "name@range": lit is forced true whenever a
+// matching candidate is selected (x_c -> lit per candidate in seen).
+// Widening only ever adds support clauses, so no refs are needed.
+type supEntry struct {
+	name string
+	rng  version.Range
+	lit  sat.Lit
+	seen map[sat.Lit]bool
 }
 
 // NewSession encodes the universe's CNF skeleton and returns a warm handle
 // for resolving requests against it.
 func NewSession(u *repo.Universe, opts SessionOptions) *Session {
-	return newSession(u, u.Names(), opts)
+	return newSession(u, u.Names(), opts, true)
 }
 
 // newSession builds a session whose skeleton covers only the given
 // packages (sorted). Concretize uses this to scope its one-shot session to
 // the request's reachable set, so cold-path cost tracks the request, not
-// the catalog.
-func newSession(u *repo.Universe, names []string, opts SessionOptions) *Session {
+// the catalog. full marks a whole-universe session eligible for Extend;
+// request-scoped sessions skip the Extend-only site bookkeeping.
+func newSession(u *repo.Universe, names []string, opts SessionOptions, full bool) *Session {
 	se := &Session{
-		u:         u,
-		solver:    sat.NewWithConfig(opts.Solver),
-		vars:      make(map[string]*pkgVars),
-		virts:     make(map[string]*virtVars),
-		trigs:     make(map[string]sat.Lit),
-		acts:      make(map[string]*list.Element),
-		actsLRU:   list.New(),
-		actsMax:   opts.MaxActivations,
-		pinnedBuf: make(map[sat.Lit]bool),
-		byPartBuf: make(map[string]Root),
+		u:             u,
+		full:          full,
+		epoch:         u.Epoch(),
+		solver:        sat.NewWithConfig(opts.Solver),
+		vars:          make(map[string]*pkgVars),
+		virts:         make(map[string]*virtVars),
+		defs:          make(map[string]*reqDef),
+		defsByName:    make(map[string][]string),
+		sups:          make(map[string]*supEntry),
+		supsByName:    make(map[string][]string),
+		pendingByName: make(map[string][]declSite),
+		acts:          make(map[string]*list.Element),
+		actsLRU:       list.New(),
+		actsMax:       opts.MaxActivations,
+		pinnedBuf:     make(map[sat.Lit]bool),
+		byPartBuf:     make(map[string]Root),
 	}
 	if se.actsMax == 0 {
 		se.actsMax = DefaultSessionMaxActivations
@@ -139,12 +222,23 @@ func newSession(u *repo.Universe, names []string, opts SessionOptions) *Session 
 	return se
 }
 
-// Fingerprint returns the content hash of the bound universe (the universe
-// half of every cache key). It is computed lazily on first use, so
-// cache-disabled one-shot sessions never pay for it.
+// Fingerprint returns the content hash of the bound universe at its
+// current epoch (memoized by the universe; delta-chained on live
+// universes). Cache keys no longer embed it — delta-scoped invalidation
+// keeps shape-keyed entries sound — but it remains the external identity
+// of what the session is solving against.
 func (se *Session) Fingerprint() string {
-	se.fpOnce.Do(func() { se.fp = se.u.Fingerprint() })
-	return se.fp
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.u.Fingerprint()
+}
+
+// Epoch returns the universe epoch the session's skeleton currently
+// reflects.
+func (se *Session) Epoch() repo.Epoch {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.epoch
 }
 
 // CacheLen returns the number of memoized resolutions currently held.
@@ -170,30 +264,8 @@ func (se *Session) CacheLen() int {
 // as unbuildable (dependencies) or vacuous (conflicts and triggers —
 // nothing outside the closure can ever be installed).
 func (se *Session) encodeSkeleton(names []string) {
-	s := se.solver
 	for _, name := range names {
-		p, _ := se.u.Package(name)
-		pv := &pkgVars{pkg: p, installed: s.NewVar()}
-		for range p.Versions() {
-			pv.vers = append(pv.vers, s.NewVar())
-		}
-		se.vars[name] = pv
-
-		// x_{p,v} -> y_p, and y_p -> OR_v x_{p,v}.
-		orClause := []sat.Lit{sat.Lit(pv.installed).Neg()}
-		for _, x := range pv.vers {
-			s.AddClause(sat.Lit(x).Neg(), sat.Lit(pv.installed))
-			orClause = append(orClause, sat.Lit(x))
-		}
-		s.AddClause(orClause...)
-		// at-most-one version.
-		if len(pv.vers) > 1 {
-			terms := make([]sat.PBTerm, len(pv.vers))
-			for i, x := range pv.vers {
-				terms[i] = sat.PBTerm{Lit: sat.Lit(x), Weight: 1}
-			}
-			s.AddPB(terms, 1)
-		}
+		se.encodePackage(name)
 	}
 
 	// Virtual "needed" variables with provider-selection clauses:
@@ -201,17 +273,7 @@ func (se *Session) encodeSkeleton(names []string) {
 	// no in-scope provider stay unencoded; requirements on them lower to
 	// empty candidate sets below.
 	for _, virt := range se.u.VirtualNames() {
-		sel := []sat.Lit{0} // placeholder for !y_virt
-		for _, c := range se.scopedCandidates(virt) {
-			sel = append(sel, sat.Lit(se.vars[c.Pkg].vers[c.Index]))
-		}
-		if len(sel) == 1 {
-			continue
-		}
-		vv := &virtVars{needed: s.NewVar()}
-		se.virts[virt] = vv
-		sel[0] = sat.Lit(vv.needed).Neg()
-		s.AddClause(sel...)
+		se.encodeVirtual(virt)
 	}
 
 	// Requirements per (package, version): dependencies and conflicts,
@@ -219,15 +281,93 @@ func (se *Session) encodeSkeleton(names []string) {
 	// guarding.
 	for _, name := range names {
 		pv := se.vars[name]
-		for i, def := range pv.pkg.Versions() {
-			xi := sat.Lit(pv.vers[i])
-			for _, d := range def.Deps {
-				se.addRequirement(xi, d.When, d.Pkg, d.Range, false)
-			}
-			for _, c := range def.Conflicts {
-				se.addRequirement(xi, c.When, c.Pkg, c.Range, true)
-			}
+		for i := range pv.pkg.Versions() {
+			se.encodeVersionReqs(pv, i)
 		}
+	}
+}
+
+// encodePackage allocates the installed/version variables for one package
+// and emits its selection structure (x -> y implications, the y -> OR x
+// disjunction, the at-most-one row).
+func (se *Session) encodePackage(name string) *pkgVars {
+	s := se.solver
+	p, _ := se.u.Package(name)
+	pv := &pkgVars{pkg: p, installed: s.NewVar()}
+	for range p.Versions() {
+		pv.vers = append(pv.vers, s.NewVar())
+	}
+	se.vars[name] = pv
+	for _, x := range pv.vers {
+		s.AddClause(sat.Lit(x).Neg(), sat.Lit(pv.installed))
+	}
+	se.emitPackageStructure(pv)
+	return pv
+}
+
+// emitPackageStructure (re-)emits the widenable per-package constraints:
+// y_p -> OR_v x_{p,v} and the at-most-one PB row over the versions. On
+// re-emission (a delta grew pv.vers) the previous clause is detached and
+// the previous row removed first; both handles are refreshed.
+func (se *Session) emitPackageStructure(pv *pkgVars) {
+	s := se.solver
+	s.DetachClause(pv.orRef)
+	or := make([]sat.Lit, 0, len(pv.vers)+1)
+	or = append(or, sat.Lit(pv.installed).Neg())
+	for _, x := range pv.vers {
+		or = append(or, sat.Lit(x))
+	}
+	pv.orRef, _ = s.AddClauseRef(or...)
+
+	s.RemovePB(pv.amoRef)
+	pv.amoRef = sat.PBRef{}
+	if len(pv.vers) > 1 {
+		terms := make([]sat.PBTerm, len(pv.vers))
+		for i, x := range pv.vers {
+			terms[i] = sat.PBTerm{Lit: sat.Lit(x), Weight: 1}
+		}
+		pv.amoRef, _ = s.AddPBRef(terms, 1)
+	}
+}
+
+// encodeVirtual allocates the "needed" variable and provider-selection
+// clause for a virtual, when it has at least one in-scope provider.
+func (se *Session) encodeVirtual(virt string) {
+	cands := se.scopedCandidates(virt)
+	if len(cands) == 0 {
+		return
+	}
+	vv := &virtVars{needed: se.solver.NewVar()}
+	se.virts[virt] = vv
+	se.emitVirtualSelection(vv, cands)
+}
+
+// emitVirtualSelection (re-)emits y_virt -> OR providers, detaching the
+// previous clause on widening.
+func (se *Session) emitVirtualSelection(vv *virtVars, cands []repo.Candidate) {
+	s := se.solver
+	s.DetachClause(vv.selRef)
+	sel := make([]sat.Lit, 0, len(cands)+1)
+	sel = append(sel, sat.Lit(vv.needed).Neg())
+	for _, c := range cands {
+		sel = append(sel, sat.Lit(se.vars[c.Pkg].vers[c.Index]))
+	}
+	vv.selRef, _ = s.AddClauseRef(sel...)
+}
+
+// encodeVersionReqs lowers every dependency and conflict of version i of
+// pv's package through addRequirement.
+func (se *Session) encodeVersionReqs(pv *pkgVars, i int) {
+	defs := pv.pkg.Versions()
+	def := &defs[i]
+	xi := sat.Lit(pv.vers[i])
+	for j := range def.Deps {
+		d := &def.Deps[j]
+		se.addRequirement(xi, declID{pkg: pv.pkg.Name, ver: def.Version, idx: j}, d.When, d.Pkg, d.Range, false)
+	}
+	for j := range def.Conflicts {
+		c := &def.Conflicts[j]
+		se.addRequirement(xi, declID{pkg: pv.pkg.Name, ver: def.Version, conflict: true, idx: j}, c.When, c.Pkg, c.Range, true)
 	}
 }
 
@@ -251,76 +391,129 @@ func (se *Session) scopedCandidates(name string) []repo.Candidate {
 	return inScope
 }
 
-// conditionLit returns the trigger literal guarding a conditional
-// declaration: a memoized variable z with x_{c} -> z for every in-scope
-// candidate c of the trigger inside its range, so z is forced true exactly
-// when some model selection activates the trigger (and is free — never
-// forced — otherwise, keeping guarded clauses vacuous in models that avoid
-// the trigger). ok is false when the trigger can never fire (unknown or
-// out-of-scope target, or no candidate in range): the guarded declaration
-// is then dormant and must not be emitted at all. The zero Condition
-// returns (0, true): unconditional.
-func (se *Session) conditionLit(w repo.Condition) (sat.Lit, bool) {
-	if w.IsZero() {
-		return 0, true
-	}
-	key := w.Pkg + "@" + w.Range.String()
-	if z, ok := se.trigs[key]; ok {
-		return z, true
+// supportLit returns the memoized support literal for "name@rng": a
+// variable z with x_c -> z for every in-scope candidate c of name inside
+// rng, so z is forced true exactly when some model selection matches the
+// key (and is free — never forced — otherwise, keeping clauses guarded on
+// z vacuous in models that avoid it). Condition triggers use z directly;
+// conflict targets use !z (a spurious true assignment to an unforced z
+// only prunes a branch the solver could take anyway, so projecting any
+// model onto the package variables stays sound). ok is false when no
+// candidate matches yet: the key is dormant and unregistered, and a later
+// delta that makes it matchable re-runs the parked declaration, which
+// re-requests the key. Widening a live key is purely additive — new
+// support clauses for new candidates — so no clause refs are kept.
+func (se *Session) supportLit(name string, rng version.Range) (sat.Lit, bool) {
+	key := name + "@" + rng.String()
+	if en, ok := se.sups[key]; ok {
+		return en.lit, true
 	}
 	var support []sat.Lit
-	for _, c := range se.scopedCandidates(w.Pkg) {
-		if w.Range.Satisfies(c.Matched) {
+	for _, c := range se.scopedCandidates(name) {
+		if rng.Satisfies(c.Matched) {
 			support = append(support, sat.Lit(se.vars[c.Pkg].vers[c.Index]))
 		}
 	}
 	if len(support) == 0 {
 		return 0, false
 	}
-	z := sat.Lit(se.solver.NewVar())
+	z := sat.Lit(se.solver.NewAuxVar())
+	en := &supEntry{name: name, rng: rng, lit: z, seen: make(map[sat.Lit]bool, len(support))}
 	for _, x := range support {
 		se.solver.AddClause(x.Neg(), z)
+		en.seen[x] = true
 	}
-	se.trigs[key] = z
+	se.sups[key] = en
+	if se.full {
+		se.supsByName[name] = append(se.supsByName[name], key)
+	}
 	return z, true
+}
+
+// defEntry returns the memoized requirement-key entry for "name@rng",
+// registering it on first use. The entry carries no solver state of its
+// own: each dependency on the key emits its requirement clause directly
+// (candidates inlined — the propagation-cheapest form) and records its
+// ref-tracked site under users, so a delta that widens the candidate set
+// finds every affected clause by key and re-emits it.
+func (se *Session) defEntry(name string, rng version.Range) *reqDef {
+	key := name + "@" + rng.String()
+	if de, ok := se.defs[key]; ok {
+		return de
+	}
+	de := &reqDef{name: name, rng: rng}
+	se.defs[key] = de
+	se.defsByName[name] = append(se.defsByName[name], key)
+	return de
+}
+
+// addPending parks a declaration that currently lowers to nothing emittable
+// (dormant trigger, dead dependency target, vacuous conflict) under the
+// name whose growth would change it. Extend re-runs parked declarations
+// when that name is touched; request-scoped sessions never Extend, so they
+// skip the bookkeeping.
+func (se *Session) addPending(name string, site declSite) {
+	if !se.full {
+		return
+	}
+	se.pendingByName[name] = append(se.pendingByName[name], site)
 }
 
 // addRequirement emits the clauses for one dependency or conflict of the
 // version literal xi, guarded by its condition: for a dependency,
 // xi AND z -> OR {x_c : candidate c of target inside rng} (an empty
-// disjunction makes xi unbuildable whenever the trigger holds); for a
-// conflict, xi AND z -> !x_c per matching candidate. This is the one code
-// path every declaration kind lowers through — concrete and virtual
-// targets differ only in what Candidates enumerates.
-func (se *Session) addRequirement(xi sat.Lit, when repo.Condition, target string, rng version.Range, conflict bool) {
-	z, live := se.conditionLit(when)
-	if !live {
-		return // trigger can never fire: the declaration is dormant
+// candidate set makes xi unbuildable whenever the trigger holds); for a
+// conflict, xi AND z -> !z_target. This is the one code path every
+// declaration kind lowers through — concrete and virtual targets differ
+// only in what Candidates enumerates — and the one Extend re-runs for
+// parked, widened, or revived declarations, which is why it takes the
+// declaration's stable identity rather than borrowing state from its
+// caller.
+func (se *Session) addRequirement(xi sat.Lit, id declID, when repo.Condition, target string, rng version.Range, conflict bool) {
+	var z sat.Lit
+	if !when.IsZero() {
+		var live bool
+		z, live = se.supportLit(when.Pkg, when.Range)
+		if !live {
+			// The trigger can never fire yet: dormant, parked under the
+			// trigger's name.
+			se.addPending(when.Pkg, declSite{id: id})
+			return
+		}
 	}
 	guard := func(lits ...sat.Lit) []sat.Lit {
-		out := make([]sat.Lit, 0, len(lits)+2)
+		out := make([]sat.Lit, 0, len(lits)+3)
 		out = append(out, xi.Neg())
 		if z != 0 {
 			out = append(out, z.Neg())
 		}
 		return append(out, lits...)
 	}
-	cands := se.scopedCandidates(target)
 	if conflict {
-		for _, c := range cands {
-			if rng.Satisfies(c.Matched) {
-				se.solver.AddClause(guard(sat.Lit(se.vars[c.Pkg].vers[c.Index]).Neg())...)
-			}
+		zt, live := se.supportLit(target, rng)
+		if !live {
+			// Nothing matching can be installed: vacuous, parked under the
+			// target's name.
+			se.addPending(target, declSite{id: id})
+			return
 		}
+		se.solver.AddClause(guard(zt.Neg())...)
 		return
 	}
-	impl := guard()
-	for _, c := range cands {
-		if rng.Satisfies(c.Matched) {
-			impl = append(impl, sat.Lit(se.vars[c.Pkg].vers[c.Index]))
-		}
+	matching := se.matchingLits(target, rng)
+	if len(matching) == 0 {
+		// Dead target: xi is unbuildable (under the trigger) until a delta
+		// grows the target; the pruning clause is parked with the
+		// declaration so revival can detach it.
+		ref, _ := se.solver.AddClauseRef(guard()...)
+		se.addPending(target, declSite{id: id, ref: ref})
+		return
 	}
-	se.solver.AddClause(impl...) // empty disjunction forbids xi (under the trigger)
+	ref, _ := se.solver.AddClauseRef(guard(matching...)...)
+	if se.full {
+		de := se.defEntry(target, rng)
+		de.users = append(de.users, declSite{id: id, ref: ref})
+	}
 }
 
 // activation returns the assumption literal enforcing one root constraint,
@@ -353,7 +546,7 @@ func (se *Session) activation(r Root) sat.Lit {
 	// With no matching candidate this is the unit clause !a: the root is
 	// permanently unsatisfiable, without poisoning the solver.
 	se.solver.AddClause(allowed...)
-	se.acts[key] = se.actsLRU.PushFront(&actEntry{key: key, lit: a})
+	se.acts[key] = se.actsLRU.PushFront(&actEntry{key: key, target: r.Pkg, lit: a})
 	return a
 }
 
@@ -402,8 +595,10 @@ func canonicalRootParts(roots []Root) []string {
 // contract is identical to Concretize: optimal resolution under the
 // request's objective, a *UnsatError, or a wrapped ErrBudget, with
 // Stats.Optimal == false when the conflict budget expired after a model
-// was found. Stats.CacheHit marks answers served from the solution cache.
-// The returned Picks map is owned by the caller.
+// was found. Stats.SolutionCacheHit marks answers served from the solution
+// cache, Stats.BoundMemoHit solves that reused a shape's banked bound, and
+// Stats.Epoch the universe epoch the answer was produced at. The returned
+// Picks map is owned by the caller.
 //
 // Canceling ctx (or passing one past its deadline) interrupts an in-flight
 // solve promptly — the context is checked between branch-and-bound rounds
@@ -427,14 +622,12 @@ func (se *Session) Resolve(ctx context.Context, roots []Root, opts Options) (*Re
 		obj = DefaultObjective
 	}
 	// The request-shape key: objective semantics plus canonical roots. It
-	// keys the bound memo directly and, prefixed with the universe
-	// fingerprint, the solution cache.
+	// keys the bound memo and the solution cache alike; epochs never enter
+	// the key — Extend's delta-scoped invalidation drops exactly the
+	// entries a delta could change, so surviving entries stay valid across
+	// universe growth.
 	shapeKey := obj.Key() + "\x00" + strings.Join(parts, "\x1f")
-	var key string
-	if se.cache != nil {
-		key = se.Fingerprint() + "\x00" + shapeKey
-	}
-	if res, err, ok := se.cacheGet(key, roots); ok {
+	if res, err, ok := se.cacheGet(shapeKey, roots); ok {
 		return res, err
 	}
 	se.mu.Lock()
@@ -445,11 +638,11 @@ func (se *Session) Resolve(ctx context.Context, roots []Root, opts Options) (*Re
 	if err := ctx.Err(); err != nil {
 		return nil, canceledError(err)
 	}
-	if res, err, ok := se.cacheGet(key, roots); ok {
+	if res, err, ok := se.cacheGet(shapeKey, roots); ok {
 		return res, err
 	}
 	res, err := se.solveLocked(ctx, roots, parts, shapeKey, obj, opts)
-	se.cachePut(key, res, err)
+	se.cachePut(shapeKey, res, err)
 	return res, err
 }
 
@@ -464,14 +657,16 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 	// about the formula, which later requests only extend with learnt
 	// clauses (consequences, never new constraints on this shape).
 	memo, _ := se.bounds.get(shapeKey)
+	memoHit := memo != nil
 	var order []string
+	var reach map[string]bool
 	var objTerms []sat.PBTerm
 	var total int64
 	if memo != nil {
 		order, objTerms, total = memo.order, memo.terms, memo.total
 	} else {
 		var err error
-		order, err = reachable(se.u, roots)
+		order, reach, err = reachable(se.u, roots)
 		if err != nil {
 			return nil, err
 		}
@@ -527,12 +722,12 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 		if err != nil {
 			return nil, err
 		}
-		memo = &boundEntry{order: order, terms: objTerms, total: total}
+		memo = &boundEntry{order: order, reach: reach, terms: objTerms, total: total}
 		se.bounds.put(shapeKey, memo)
 	}
 
 	s := se.solver
-	stats := Stats{Packages: len(order)}
+	stats := Stats{Packages: len(order), Epoch: se.epoch, BoundMemoHit: memoHit}
 	conflicts0, decisions0, props0 := s.Conflicts, s.Decisions, s.Propagations
 	if opts.MaxConflicts > 0 {
 		s.MaxConflicts = conflicts0 + opts.MaxConflicts
@@ -832,18 +1027,27 @@ func (se *Session) cacheGet(key string, roots []Root) (*Resolution, error, bool)
 		picks[p] = v
 	}
 	stats := ent.stats
-	stats.CacheHit = true
+	stats.SolutionCacheHit = true
 	return &Resolution{Picks: picks, Stats: stats}, nil, true
 }
 
 // cachePut memoizes definitive answers: optimal resolutions and proven
 // unsatisfiability. Budget-limited (non-optimal or Unknown) outcomes and
-// request errors are never cached.
+// request errors are never cached. The entry inherits the shape's
+// reachable set from the bound memo so Extend can invalidate it precisely;
+// callers hold se.mu, which guards the bound memo.
 func (se *Session) cachePut(key string, res *Resolution, err error) {
 	if se.cache == nil {
 		return
 	}
-	ent := cacheEntry{}
+	memo, ok := se.bounds.peek(key)
+	if !ok {
+		// Without a recorded reach set the entry could never be
+		// invalidated; skip caching (solveLocked banks the memo before
+		// solving, so this is a can't-happen safety net).
+		return
+	}
+	ent := cacheEntry{reach: memo.reach}
 	switch {
 	case err == nil && res.Stats.Optimal:
 		picks := make(map[string]version.Version, len(res.Picks))
@@ -872,15 +1076,20 @@ type boundEntry struct {
 	proven bool  // a completed proof backs lo (distinguishes a banked
 	// optimum of zero from "never proved anything")
 	order []string
+	reach map[string]bool // names whose growth could change this shape's
+	// answer (reachable packages, dependency-target names, root names);
+	// Extend drops the entry when a delta touches any of them
 	terms []sat.PBTerm
 	total int64
 }
 
 // cacheEntry is one memoized answer: either an optimal resolution or a
-// proof of unsatisfiability.
+// proof of unsatisfiability. reach mirrors the shape's bound-memo reach
+// set (shared map) for delta-scoped invalidation.
 type cacheEntry struct {
 	picks map[string]version.Version
 	stats Stats
+	reach map[string]bool
 	unsat bool
 }
 
@@ -950,5 +1159,19 @@ func (c *lru[V]) put(key string, val V) {
 			c.ll.Remove(oldest)
 			delete(c.m, oldest.Value.(*lruItem[V]).key)
 		}
+	}
+}
+
+// sweep removes every entry drop reports true for. Extend uses it for
+// delta-scoped invalidation of the bound memo and the solution cache.
+func (c *lru[V]) sweep(drop func(key string, val V) bool) {
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		it := el.Value.(*lruItem[V])
+		if drop(it.key, it.val) {
+			c.ll.Remove(el)
+			delete(c.m, it.key)
+		}
+		el = next
 	}
 }

@@ -68,7 +68,7 @@ func TestSessionCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Resolve: %v", err)
 	}
-	if first.Stats.CacheHit {
+	if first.Stats.SolutionCacheHit {
 		t.Error("first request cannot be a cache hit")
 	}
 	decisions := sess.solver.Decisions
@@ -77,7 +77,7 @@ func TestSessionCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("repeat Resolve: %v", err)
 	}
-	if !second.Stats.CacheHit {
+	if !second.Stats.SolutionCacheHit {
 		t.Error("repeat request must be a cache hit")
 	}
 	if sess.solver.Decisions != decisions {
@@ -91,7 +91,7 @@ func TestSessionCacheHit(t *testing.T) {
 		t.Fatalf("CacheLen = %d, want 1", sess.CacheLen())
 	}
 	dup, err := sess.Resolve(context.Background(), []Root{{Pkg: root}, {Pkg: root}}, Options{})
-	if err != nil || !dup.Stats.CacheHit {
+	if err != nil || !dup.Stats.SolutionCacheHit {
 		t.Errorf("duplicated roots missed the cache (err %v)", err)
 	}
 	// Returned picks are caller-owned: mutating them must not poison later hits.
@@ -134,7 +134,7 @@ func TestSessionCacheDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatalf("repeat Resolve: %v", err)
 	}
-	if res.Stats.CacheHit || sess.CacheLen() != 0 {
+	if res.Stats.SolutionCacheHit || sess.CacheLen() != 0 {
 		t.Error("disabled cache served a hit")
 	}
 }
@@ -158,7 +158,7 @@ func TestSessionLRUEviction(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Resolve dense0: %v", err)
 	}
-	if res.Stats.CacheHit || sess.solver.Decisions == decisions {
+	if res.Stats.SolutionCacheHit || sess.solver.Decisions == decisions {
 		t.Error("evicted entry still served from cache")
 	}
 }

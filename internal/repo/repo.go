@@ -2,8 +2,8 @@
 // versions, per-version declarations, and the indexes the concretizer in
 // internal/concretize lowers them from. It is the input side of the
 // resolution stack, playing the role Spack's package repository plays for
-// its concretizer: a static catalog that resolution requests are solved
-// against.
+// its concretizer: the catalog that resolution requests are solved
+// against. The catalog is live, not static — see "Live growth" below.
 //
 // # Declaration model
 //
@@ -36,6 +36,19 @@
 // virtual version for a provider. Every layer above (encoder, reachability,
 // verification, objectives) lowers requirements through this one interface
 // instead of special-casing declaration types.
+//
+// # Live growth
+//
+// A Universe carries a monotone Epoch, bumped by Apply(Delta). A Delta is
+// a validated batch of additions — new versions of existing packages, new
+// packages, new providers — and is growth-only: nothing is ever retracted,
+// mirroring how release streams behave and what lets downstream encoders
+// extend state in place rather than rebuild (see
+// internal/concretize.Session.Extend). Delta.Validate checks a delta
+// against the universe it will apply to without mutating it; Apply is
+// all-or-nothing. Fingerprints chain per epoch — each epoch's fingerprint
+// hashes the previous one plus the delta — so two universes with equal
+// content but different growth histories remain distinguishable.
 package repo
 
 import (
@@ -165,6 +178,11 @@ func (p *Package) Newest() version.Version {
 	return p.versions[0].Version
 }
 
+// IndexOf returns the newest-first index of v among the package's
+// versions, or -1 when absent. Skeleton extension uses it to re-locate a
+// version's slot after delta insertions shift indices.
+func (p *Package) IndexOf(v version.Version) int { return p.indexOf(v) }
+
 // indexOf returns the newest-first index of v, or -1 when absent.
 func (p *Package) indexOf(v version.Version) int {
 	for i := range p.versions {
@@ -201,10 +219,20 @@ type Universe struct {
 	virtuals map[string][]Provider // virtual name -> providers (canonical order)
 
 	// names memoizes the sorted package-name slice (read-heavy: every
-	// fingerprint and skeleton encode walks it). Add invalidates it.
-	// atomic so concurrent readers (e.g. portfolio members fingerprinting
-	// lazily) never race; racing rebuilders produce identical slices.
+	// fingerprint and skeleton encode walks it). Add invalidates it;
+	// Apply updates it incrementally (copy-on-write merge). atomic so
+	// concurrent readers (e.g. portfolio members fingerprinting lazily)
+	// never race; racing rebuilders produce identical slices.
 	names atomic.Pointer[[]string]
+
+	// fp memoizes the content fingerprint. Add invalidates it; Apply
+	// replaces it with the delta-chained hash in O(delta).
+	fp atomic.Pointer[string]
+
+	// epoch counts applied deltas; live marks the universe as
+	// delta-managed, freezing direct Add mutation.
+	epoch Epoch
+	live  bool
 }
 
 // New returns an empty universe.
@@ -219,14 +247,14 @@ func New() *Universe {
 // malformed version string or a duplicate (package, version) pair:
 // universes are static catalogs built from literals, and a silent overwrite
 // would hide definition bugs. Add is not safe for use concurrent with
-// readers; build the universe fully before sharing it.
+// readers; build the universe fully before sharing it. Once the universe
+// has gone live (its first Apply), Add panics: further growth must arrive
+// as epoch-versioned deltas.
 func (u *Universe) Add(pkg, ver string, decls ...Decl) {
-	v := version.MustParse(ver)
-	p := u.pkgs[pkg]
-	if p == nil {
-		p = &Package{Name: pkg}
-		u.pkgs[pkg] = p
+	if u.live {
+		panic("repo: Add on a live universe (after Apply); use a Delta")
 	}
+	v := version.MustParse(ver)
 	def := VersionDef{Version: v}
 	for _, d := range decls {
 		switch d := d.(type) {
@@ -238,21 +266,33 @@ func (u *Universe) Add(pkg, ver string, decls ...Decl) {
 			def.Provides = append(def.Provides, d)
 		}
 	}
-	// Insert keeping newest-first order; reject duplicates.
-	i := sort.Search(len(p.versions), func(i int) bool {
-		return p.versions[i].Version.Compare(v) <= 0
-	})
-	if i < len(p.versions) && p.versions[i].Version.Equal(v) {
+	if p, ok := u.pkgs[pkg]; ok && p.indexOf(v) >= 0 {
 		panic(fmt.Sprintf("repo: duplicate version %s@%s", pkg, ver))
 	}
+	u.insertDef(pkg, def)
+	u.names.Store(nil) // invalidate the memoized sorted name slice
+	u.fp.Store(nil)    // invalidate the memoized fingerprint
+}
+
+// insertDef inserts one version definition keeping newest-first order and
+// indexes its provides declarations. The caller has already rejected
+// duplicates (Add panics, Apply validates).
+func (u *Universe) insertDef(pkg string, def VersionDef) {
+	p := u.pkgs[pkg]
+	if p == nil {
+		p = &Package{Name: pkg}
+		u.pkgs[pkg] = p
+	}
+	i := sort.Search(len(p.versions), func(i int) bool {
+		return p.versions[i].Version.Compare(def.Version) <= 0
+	})
 	p.versions = append(p.versions, VersionDef{})
 	copy(p.versions[i+1:], p.versions[i:])
 	p.versions[i] = def
 
 	for _, pr := range def.Provides {
-		u.addProvider(pr.Virtual, Provider{Pkg: pkg, Version: v, Provided: pr.Version})
+		u.addProvider(pr.Virtual, Provider{Pkg: pkg, Version: def.Version, Provided: pr.Version})
 	}
-	u.names.Store(nil) // invalidate the memoized sorted name slice
 }
 
 // addProvider inserts into the virtual index keeping canonical order:
@@ -405,10 +445,18 @@ const fingerprintTag = "go-arxiv-universe-v2\n"
 // regardless of Add order (version insertion is sorted); any change to a
 // name, version, range, provided virtual, or condition changes the hash.
 // The serialization carries a schema tag, so a schema change (new
-// declaration kinds) changes every hash at once. It is the universe half of
-// the solution-cache key in internal/concretize, so cached resolutions can
-// never be served against different catalog contents.
+// declaration kinds) changes every hash at once.
+//
+// The hash is memoized: the full O(universe) serialization runs at most
+// once per mutation. On a live universe, Apply replaces the memo with a
+// delta-chained hash (previous fingerprint + canonical delta), so
+// fingerprinting stays O(delta) per epoch; the chained value identifies
+// the universe's delta history, meaning two universes with identical
+// content reached through different delta partitionings hash differently.
 func (u *Universe) Fingerprint() string {
+	if cached := u.fp.Load(); cached != nil {
+		return *cached
+	}
 	h := sha256.New()
 	h.Write([]byte(fingerprintTag))
 	for _, name := range u.Names() {
@@ -427,7 +475,9 @@ func (u *Universe) Fingerprint() string {
 			}
 		}
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	fp := hex.EncodeToString(h.Sum(nil))
+	u.fp.Store(&fp)
+	return fp
 }
 
 // Validate checks declaration integrity, collecting every violation and

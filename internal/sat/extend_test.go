@@ -1,0 +1,149 @@
+package sat
+
+import "testing"
+
+// TestDetachClauseWiden: retracting a clause and re-adding a widened form
+// must change satisfiability exactly as replacing it would.
+func TestDetachClauseWiden(t *testing.T) {
+	s := New()
+	x1, x2, x3 := s.NewVar(), s.NewVar(), s.NewVar()
+	ref, ok := s.AddClauseRef(Lit(x1), Lit(x2))
+	if !ok || !ref.Valid() {
+		t.Fatalf("AddClauseRef: ok=%v valid=%v", ok, ref.Valid())
+	}
+	if got := s.Solve(Lit(x1).Neg(), Lit(x2).Neg()); got != Unsat {
+		t.Fatalf("before widen: Solve = %v, want Unsat", got)
+	}
+
+	s.ForgetLearnts() // assumption-level refutations may have banked learnts
+	s.DetachClause(ref)
+	if ref.Valid() {
+		t.Fatalf("handle still valid after DetachClause")
+	}
+	s.DetachClause(ref) // double detach: no-op
+
+	wide, ok := s.AddClauseRef(Lit(x1), Lit(x2), Lit(x3))
+	if !ok || !wide.Valid() {
+		t.Fatalf("re-add: ok=%v valid=%v", ok, wide.Valid())
+	}
+	if got := s.Solve(Lit(x1).Neg(), Lit(x2).Neg()); got != Sat {
+		t.Fatalf("after widen: Solve = %v, want Sat", got)
+	}
+	if !s.ValueOf(x3) {
+		t.Fatalf("widened clause not enforced: x3 false with x1, x2 assumed false")
+	}
+	if got := s.Solve(Lit(x1).Neg(), Lit(x2).Neg(), Lit(x3).Neg()); got != Unsat {
+		t.Fatalf("widened clause dropped entirely: Solve = %v, want Unsat", got)
+	}
+}
+
+// TestDetachReleasesPropagation: a level-0 assignment propagated through a
+// clause must be released when the clause is detached and learnts are
+// forgotten — the trail rebuild re-derives only what the surviving formula
+// implies.
+func TestDetachReleasesPropagation(t *testing.T) {
+	s := New()
+	x1, x2 := s.NewVar(), s.NewVar()
+	ref, _ := s.AddClauseRef(Lit(x1), Lit(x2))
+	s.AddClause(Lit(x1).Neg()) // axiom: !x1, so the clause forces x2
+	if !s.FixedFalse(Lit(x2).Neg()) {
+		t.Fatalf("x2 not propagated true at level 0")
+	}
+	s.DetachClause(ref)
+	s.ForgetLearnts()
+	if !s.FixedFalse(Lit(x1)) {
+		t.Fatalf("axiom !x1 lost by ForgetLearnts")
+	}
+	if s.FixedFalse(Lit(x2).Neg()) || s.FixedFalse(Lit(x2)) {
+		t.Fatalf("x2 still fixed after its deriving clause was detached")
+	}
+	if got := s.Solve(Lit(x2).Neg()); got != Sat {
+		t.Fatalf("Solve assuming !x2 = %v, want Sat after detach", got)
+	}
+}
+
+// TestForgetLearntsPreservesSemantics: forgetting learnts changes no
+// answers, only derived state; level-0 learnt units must be unwound (they
+// are consequences, not axioms) yet re-derivable by search.
+func TestForgetLearntsPreservesSemantics(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(Lit(a), Lit(b))
+	s.AddClause(Lit(a), Lit(b).Neg())
+	// (a|b) and (a|!b) imply a; a refutation under !a learns it at level 0.
+	if got := s.Solve(Lit(a).Neg()); got != Unsat {
+		t.Fatalf("Solve assuming !a = %v, want Unsat", got)
+	}
+	s.ForgetLearnts()
+	if s.FixedFalse(Lit(a).Neg()) {
+		t.Fatalf("learnt unit a survived ForgetLearnts as a fixed fact")
+	}
+	// Still implied by the originals: the answer must not change.
+	if got := s.Solve(Lit(a).Neg()); got != Unsat {
+		t.Fatalf("after forget: Solve assuming !a = %v, want Unsat", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("after forget: Solve = %v, want Sat", got)
+	}
+	if !s.ValueOf(a) {
+		t.Fatalf("model violates implied literal a")
+	}
+}
+
+// TestRemovePBWiden: removing an at-most-one row and re-adding it over a
+// wider literal set is the PB half of skeleton widening.
+func TestRemovePBWiden(t *testing.T) {
+	s := New()
+	x1, x2, x3 := s.NewVar(), s.NewVar(), s.NewVar()
+	terms := []PBTerm{{Lit: Lit(x1), Weight: 1}, {Lit: Lit(x2), Weight: 1}}
+	ref, ok := s.AddPBRef(terms, 1)
+	if !ok {
+		t.Fatalf("AddPBRef rejected")
+	}
+	if got := s.Solve(Lit(x1), Lit(x2)); got != Unsat {
+		t.Fatalf("AMO violated: Solve = %v, want Unsat", got)
+	}
+	s.ForgetLearnts()
+	s.RemovePB(ref)
+	s.RemovePB(ref) // stale handle: no-op
+	if got := s.Solve(Lit(x1), Lit(x2)); got != Sat {
+		t.Fatalf("after RemovePB: Solve = %v, want Sat", got)
+	}
+	wide := []PBTerm{{Lit: Lit(x1), Weight: 1}, {Lit: Lit(x2), Weight: 1}, {Lit: Lit(x3), Weight: 1}}
+	if _, ok := s.AddPBRef(wide, 1); !ok {
+		t.Fatalf("re-add rejected")
+	}
+	if got := s.Solve(Lit(x1), Lit(x3)); got != Unsat {
+		t.Fatalf("widened AMO not enforced: Solve = %v, want Unsat", got)
+	}
+	if got := s.Solve(Lit(x3)); got != Sat {
+		t.Fatalf("widened AMO overconstrains: Solve = %v, want Sat", got)
+	}
+}
+
+// TestNumClausesTracksDetach: the live-clause count must reflect detaches,
+// including across the lazy compaction threshold.
+func TestNumClausesTracksDetach(t *testing.T) {
+	s := New()
+	vars := make([]int, 100)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	refs := make([]ClauseRef, 0, 99)
+	for i := 0; i+1 < len(vars); i++ {
+		r, _ := s.AddClauseRef(Lit(vars[i]), Lit(vars[i+1]))
+		refs = append(refs, r)
+	}
+	if got := s.NumClauses(); got != 99 {
+		t.Fatalf("NumClauses = %d, want 99", got)
+	}
+	for _, r := range refs[:80] {
+		s.DetachClause(r)
+	}
+	if got := s.NumClauses(); got != 19 {
+		t.Fatalf("NumClauses after detaching 80 = %d, want 19", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve after compaction = %v, want Sat", got)
+	}
+}

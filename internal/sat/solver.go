@@ -13,7 +13,6 @@
 package sat
 
 import (
-	"fmt"
 	"sync/atomic"
 )
 
@@ -102,16 +101,18 @@ func (r reason) isDecision() bool { return r.cl == nil && r.pb == 0 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
-	nVars   int
-	clauses []*clause
-	learnts []*clause
-	watches [][]*clause // literal index -> watching clauses
+	nVars    int
+	clauses  []*clause
+	learnts  []*clause
+	watches  [][]*clause // literal index -> watching clauses
+	detached int         // clauses retracted by DetachClause, pending compaction
 
 	assigns  []lbool // var -> value
 	level    []int32 // var -> decision level
 	trailPos []int32 // var -> position on trail when assigned
 	reasons  []reason
 	polarity []bool // phase saving: last assigned sign
+	decision []bool // var -> branchable; false for auxiliary (defined) vars
 	trail    []Lit
 	trailLim []int
 	qhead    int
@@ -174,6 +175,7 @@ func NewWithConfig(cfg Config) *Solver {
 	s.trailPos = append(s.trailPos, 0)
 	s.reasons = append(s.reasons, reason{})
 	s.polarity = append(s.polarity, false)
+	s.decision = append(s.decision, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
@@ -217,6 +219,31 @@ func (s *Solver) ResetPhases() {
 
 // NewVar allocates a fresh variable and returns its number (>= 1).
 func (s *Solver) NewVar() int {
+	v := s.allocVar()
+	s.decision[v] = true
+	s.order.insert(v)
+	return v
+}
+
+// NewAuxVar allocates an auxiliary (defined) variable: one the search
+// never branches on. It participates in clauses, propagation, and
+// conflict analysis like any other variable, but a model may leave it
+// unassigned, in which case ValueOf reports it false.
+//
+// Soundness is the caller's contract: an auxiliary variable must be a
+// definition literal — every clause in which it occurs positively must be
+// satisfied whenever the variable is unassigned after propagation (the
+// Tseitin shape "aux OR NOT antecedent" has this property: an unassigned
+// aux means no antecedent forced it, so those clauses are satisfied by
+// the antecedent's negation, and extending the model with aux = false
+// satisfies the rest). Encoders use this for shared requirement-definition
+// and support literals, whose truth is only ever needed when propagation
+// derives it.
+func (s *Solver) NewAuxVar() int {
+	return s.allocVar()
+}
+
+func (s *Solver) allocVar() int {
 	s.nVars++
 	v := s.nVars
 	s.assigns = append(s.assigns, lUndef)
@@ -226,11 +253,11 @@ func (s *Solver) NewVar() int {
 	// Initial phase: polarity true => assign -v first. Negative-first is
 	// the default; Config.PositiveFirst flips it.
 	s.polarity = append(s.polarity, !s.cfg.PositiveFirst)
+	s.decision = append(s.decision, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
 	s.pbOcc = append(s.pbOcc, nil, nil)
-	s.order.insert(v)
 	return v
 }
 
@@ -246,57 +273,6 @@ func (s *Solver) value(l Lit) lbool {
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
-
-// AddClause adds a clause. Returns false if the solver is already in an
-// unsatisfiable state at the top level.
-func (s *Solver) AddClause(lits ...Lit) bool {
-	if !s.ok {
-		return false
-	}
-	if s.decisionLevel() != 0 {
-		panic("sat: AddClause above decision level 0")
-	}
-	// Normalize: drop false lits and duplicates, detect tautology/satisfied.
-	out := lits[:0:0]
-	seen := map[Lit]bool{}
-	for _, l := range lits {
-		if l == 0 || l.Var() > s.nVars {
-			panic(fmt.Sprintf("sat: bad literal %d", l))
-		}
-		switch s.value(l) {
-		case lTrue:
-			return true // already satisfied
-		case lFalse:
-			continue
-		}
-		if seen[l.Neg()] {
-			return true // tautology
-		}
-		if !seen[l] {
-			seen[l] = true
-			out = append(out, l)
-		}
-	}
-	switch len(out) {
-	case 0:
-		s.ok = false
-		return false
-	case 1:
-		if !s.enqueue(out[0], reason{}) {
-			s.ok = false
-			return false
-		}
-		if s.propagate() != nil {
-			s.ok = false
-			return false
-		}
-		return true
-	}
-	c := &clause{lits: out}
-	s.clauses = append(s.clauses, c)
-	s.watchClause(c)
-	return true
-}
 
 func (s *Solver) watchClause(c *clause) {
 	// watch the negations of the first two literals
@@ -422,7 +398,7 @@ func (s *Solver) cancelUntil(level int) {
 		}
 		s.assigns[v] = lUndef
 		s.reasons[v] = reason{}
-		if !s.order.inHeap(v) {
+		if s.decision[v] && !s.order.inHeap(v) {
 			s.order.insert(v)
 		}
 	}
@@ -622,7 +598,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			}
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 && s.decisionLevel() == 0 {
-				if !s.enqueue(learnt[0], reason{}) {
+				// Store even unit learnts as (unwatched) learnt clause
+				// objects and use them as the assignment's reason: the
+				// level-0 trail must be able to tell learnt-derived facts
+				// from axioms, because ForgetLearnts releases the former
+				// when the formula is weakened by a skeleton extension.
+				c := &clause{lits: learnt, learnt: true, activity: s.varInc}
+				s.learnts = append(s.learnts, c)
+				if !s.enqueue(learnt[0], reason{cl: c}) {
 					s.ok = false
 					return Unsat
 				}

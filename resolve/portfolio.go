@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
@@ -54,7 +55,17 @@ func DefaultPortfolio() []BackendConfig {
 // non-optimal incumbent (or concretize.ErrBudget) while another later
 // proves an optimum, the optimum wins; the incumbent is returned only
 // when no member can do better.
+//
+// The members share one universe, which grows through Apply: the delta is
+// applied once and every member's skeleton extends in place, under a
+// write barrier that quiesces requests — a racing Resolve observes every
+// member either wholly before or wholly after the delta, never a
+// half-applied portfolio.
 type PortfolioResolver struct {
+	// mu quiesces the portfolio around Apply: Resolve holds it shared (the
+	// members' own session locks serialize actual solving), Apply holds it
+	// exclusively while broadcasting the delta across members.
+	mu      sync.RWMutex
 	members []portfolioMember
 }
 
@@ -88,6 +99,33 @@ func NewPortfolioResolver(u *repo.Universe, configs ...BackendConfig) (*Portfoli
 		})
 	}
 	return p, nil
+}
+
+// Apply grows the shared universe by one append-only delta and broadcasts
+// it across the members: the first member's Extend applies the delta to
+// the universe, each subsequent member sees the universe one epoch ahead
+// of its skeleton and extends in place (the epoch contract on
+// concretize.Session.Extend). The broadcast runs under the portfolio's
+// write barrier, so no request ever races a half-applied portfolio. A
+// validation failure on the first member mutates nothing; an extension
+// error on a later member is returned wrapped with the member's name (and
+// leaves that member behind — construction-order determinism makes this
+// reachable only through universe corruption).
+func (p *PortfolioResolver) Apply(d *Delta) (Epoch, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var epoch Epoch
+	for i, m := range p.members {
+		e, err := m.se.Extend(d)
+		if err != nil {
+			if i == 0 {
+				return e, err
+			}
+			return e, fmt.Errorf("resolve: member %s: %w", m.name, err)
+		}
+		epoch = e
+	}
+	return epoch, nil
 }
 
 // Members returns the member configuration names, in racing order.
@@ -125,6 +163,10 @@ func (p *PortfolioResolver) Resolve(ctx context.Context, req Request) (*Result, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Shared-mode barrier against Apply: requests proceed concurrently with
+	// each other, never interleaved with a half-broadcast delta.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	race, cancel := context.WithCancel(ctx)
 	defer cancel()
 

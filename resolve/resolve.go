@@ -32,6 +32,13 @@
 // leaves every backend reusable, which is what makes deadline-bounded
 // serving and loser-cancellation safe.
 //
+// Universes are live: both backends implement Apply(repo.Delta), which
+// grows the shared universe by one epoch and extends every member
+// session's encoded skeleton in place under a write barrier — no rebuild,
+// and no in-flight request ever observes a half-applied delta. Cached
+// answers whose requests a delta cannot touch survive it;
+// Result.Stats.Epoch reports the epoch each answer was computed at.
+//
 // Objectives are pluggable per request (NewestVersion by default,
 // MinimalChange against an installed profile, or custom weights via
 // concretize.ObjectiveFunc); failures are typed (*concretize.UnsatError,
@@ -72,7 +79,17 @@ type (
 	// not a virtual). It is a request error, distinct from
 	// unsatisfiability.
 	UnknownPackageError = concretize.UnknownPackageError
+	// Delta is an append-only batch of universe growth (new packages,
+	// versions, provides edges); build one with NewDelta and repo.Delta.Add,
+	// then hand it to a resolver's Apply.
+	Delta = repo.Delta
+	// Epoch counts the deltas applied to a universe; Result.Stats.Epoch
+	// reports the epoch an answer was computed at.
+	Epoch = repo.Epoch
 )
+
+// NewDelta returns an empty delta ready for Add calls.
+func NewDelta() *Delta { return repo.NewDelta() }
 
 // Typed failure taxonomy, re-exported so serving-tier callers match
 // errors without importing the concretizer.
@@ -145,9 +162,23 @@ var _ Resolver = (*SessionResolver)(nil)
 
 // NewSessionResolver builds a resolver over one Session bound to the
 // universe (encoding its skeleton once). The universe must not be mutated
-// afterwards.
+// behind the resolver's back: growth arrives through Apply, which keeps
+// the universe, the encoded skeleton, and the caches in lockstep.
 func NewSessionResolver(u *repo.Universe, opts SessionOptions) *SessionResolver {
 	return &SessionResolver{name: "session", se: concretize.NewSession(u, opts)}
+}
+
+// Apply grows the resolver's universe by one append-only delta and extends
+// the warm session's skeleton in place (concretize.Session.Extend): new
+// clauses for the delta's candidates, widened constraints for touched
+// names, and invalidation scoped to the cache entries whose reachable set
+// the delta intersects — answers for untouched request shapes keep being
+// served from cache. It returns the new epoch; on a validation error
+// nothing is mutated. Apply serializes against in-flight Resolves on the
+// session lock, so a racing request observes the universe either wholly
+// before or wholly after the delta, never in between.
+func (r *SessionResolver) Apply(d *Delta) (Epoch, error) {
+	return r.se.Extend(d)
 }
 
 // Resolve implements Resolver.

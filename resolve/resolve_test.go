@@ -43,8 +43,8 @@ func TestSessionResolverBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !res2.Stats.CacheHit || r.CacheLen() == 0 {
-		t.Fatalf("warm repeat: hit=%v cacheLen=%d", res2.Stats.CacheHit, r.CacheLen())
+	if !res2.Stats.SolutionCacheHit || r.CacheLen() == 0 {
+		t.Fatalf("warm repeat: hit=%v cacheLen=%d", res2.Stats.SolutionCacheHit, r.CacheLen())
 	}
 }
 
