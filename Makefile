@@ -1,14 +1,14 @@
 GO ?= go
 BENCHTIME ?= 0.3s
-PR ?= pr6
-PREV_PR ?= pr5
+PR ?= pr7
+PREV_PR ?= pr6
 BENCH_JSON ?= BENCH_$(PR).json
-# The perf-trajectory suite: cold concretization, warm Session paths, and
-# the serving-tier portfolio. `make bench` runs it and records the numbers
-# in $(BENCH_JSON) so performance is tracked across PRs.
-BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver|BenchmarkSessionChurn|BenchmarkSessionExtend
+# The perf-trajectory suite: cold concretization, warm Session paths, the
+# portfolio, and the HTTP daemon pipeline. `make bench` runs it and records
+# the numbers in $(BENCH_JSON) so performance is tracked across PRs.
+BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver|BenchmarkSessionChurn|BenchmarkSessionExtend|BenchmarkDaemon
 
-.PHONY: all build vet fmt test race bench benchdiff fuzz-smoke
+.PHONY: all build vet fmt test race bench benchdiff fuzz-smoke serve-smoke
 
 all: fmt build vet test
 
@@ -29,7 +29,7 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench='$(BENCH_PATTERN)' -benchtime=$(BENCHTIME) -benchmem \
-		./internal/concretize/ ./resolve/ | tee .bench_raw.txt
+		./internal/concretize/ ./resolve/ ./serve/ | tee .bench_raw.txt
 	./scripts/benchjson.sh $(PR) < .bench_raw.txt > $(BENCH_JSON)
 	@rm -f .bench_raw.txt
 	@echo "wrote $(BENCH_JSON)"
@@ -38,6 +38,13 @@ bench:
 # committed trajectory file; exits non-zero when anything regressed >20%.
 benchdiff:
 	./scripts/benchdiff.sh BENCH_$(PREV_PR).json $(BENCH_JSON)
+
+# The serving-tier gate: the full serve suite under -race (coalesce storm,
+# shed latency, apply roundtrip, follower deadlines) plus the daemon
+# doctor's end-to-end self-checks against a live in-process daemon.
+serve-smoke:
+	$(GO) test -race -count=1 ./serve/
+	$(GO) run ./cmd/goarxivd doctor
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzParse$$' -fuzztime=20s ./internal/version/

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/paper-repo-growth/go-arxiv/serve"
+)
+
+// runBench storms an in-process daemon with a duplicate-heavy request mix
+// — the traffic shape the coalescer exists for — and reports throughput,
+// latency percentiles, and how much of the load collapsed onto shared
+// solves or the solution cache.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	n := fs.Int("n", 2000, "total requests")
+	c := fs.Int("c", 32, "concurrent clients")
+	shapes := fs.Int("shapes", 4, "distinct request shapes (lower = more duplicate traffic)")
+	family := fs.String("family", "dense", "synthetic universe family")
+	pkgs := fs.Int("pkgs", 40, "family size")
+	vers := fs.Int("vers", 8, "versions per package")
+	backend := fs.String("backend", "session", "resolver backend (session|portfolio)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	u, root, err := buildUniverse(*family, *pkgs, *vers)
+	if err != nil {
+		return err
+	}
+	b, err := buildBackend(*backend, u)
+	if err != nil {
+		return err
+	}
+	s := serve.New(b, serve.Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Shape i requests the root constrained to versions <= vers-i, so each
+	// shape has a distinct answer but all stay satisfiable.
+	reqs := make([]serve.ResolveRequest, *shapes)
+	for i := range reqs {
+		max := *vers - i%*vers
+		reqs[i] = serve.ResolveRequest{Roots: []string{fmt.Sprintf("%s@:%d", root, max)}}
+	}
+
+	lats := make([]time.Duration, *n)
+	var idx sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				idx.Lock()
+				i := next
+				next++
+				idx.Unlock()
+				if i >= *n {
+					return
+				}
+				req := reqs[rng.Intn(len(reqs))]
+				t0 := time.Now()
+				var rr serve.ResolveResponse
+				if err := postJSON(ts.URL+"/v1/resolve", req, &rr); err != nil {
+					fmt.Printf("request %d: %v\n", i, err)
+				}
+				lats[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+	st := s.Stats()
+	fmt.Printf("requests      %d in %v (%.0f req/s, %d clients, %d shapes)\n",
+		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), *c, *shapes)
+	fmt.Printf("latency       p50 %v  p90 %v  p99 %v\n", at(0.50), at(0.90), at(0.99))
+	fmt.Printf("backend       %d solves, %d coalesced (%.1f%%), %d cache hits (%.1f%%), %d shed\n",
+		st.Solves, st.Coalesced, pct(st.Coalesced, st.Requests), st.CacheHits, pct(st.CacheHits, st.Requests), st.Shed)
+	return nil
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

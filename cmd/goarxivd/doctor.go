@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"github.com/paper-repo-growth/go-arxiv/resolve"
+	"github.com/paper-repo-growth/go-arxiv/serve"
+)
+
+// runDoctor self-checks the stack: each synthetic family resolves through
+// each backend with a verified optimal answer, the daemon's HTTP surface
+// round-trips a resolve/apply/stats cycle, and duplicate in-flight
+// requests coalesce. Exit status is the diagnosis.
+func runDoctor(args []string) error {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	failures := 0
+	check := func(name string, err error) {
+		if err != nil {
+			failures++
+			fmt.Printf("FAIL  %-34s %v\n", name, err)
+			return
+		}
+		fmt.Printf("ok    %s\n", name)
+	}
+
+	for _, family := range []string{"dense", "diamond", "chain", "virtual", "conditional"} {
+		for _, backend := range []string{"session", "portfolio"} {
+			check(family+"/"+backend, checkResolve(family, backend))
+		}
+	}
+	check("daemon/http-roundtrip", checkDaemon())
+	check("daemon/coalescing", checkCoalescing())
+
+	if failures > 0 {
+		return fmt.Errorf("%d check(s) failed", failures)
+	}
+	fmt.Println("all checks passed")
+	return nil
+}
+
+// checkResolve resolves a family's root twice (cold, then warm) and
+// demands optimal answers and a warm cache hit.
+func checkResolve(family, backend string) error {
+	u, root, err := buildUniverse(family, 8, 4)
+	if err != nil {
+		return err
+	}
+	b, err := buildBackend(backend, u)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req := resolve.Request{Roots: []resolve.Root{{Pkg: root}}}
+	res, err := b.Resolve(ctx, req)
+	if err != nil {
+		return err
+	}
+	if !res.Stats.Optimal || len(res.Picks) == 0 {
+		return fmt.Errorf("cold answer not optimal (%d picks)", len(res.Picks))
+	}
+	res2, err := b.Resolve(ctx, req)
+	if err != nil {
+		return err
+	}
+	if res2.Stats.Cost != res.Stats.Cost {
+		return fmt.Errorf("warm cost %d != cold cost %d", res2.Stats.Cost, res.Stats.Cost)
+	}
+	return nil
+}
+
+// checkDaemon runs a resolve -> apply -> resolve -> stats cycle over the
+// real HTTP surface.
+func checkDaemon() error {
+	u, root, _ := buildUniverse("diamond", 4, 3)
+	b, _ := buildBackend("session", u)
+	ts := httptest.NewServer(serve.New(b, serve.Options{}))
+	defer ts.Close()
+
+	var rr serve.ResolveResponse
+	if err := postJSON(ts.URL+"/v1/resolve", serve.ResolveRequest{Roots: []string{root}}, &rr); err != nil {
+		return err
+	}
+	if len(rr.Picks) == 0 || !rr.Optimal {
+		return fmt.Errorf("resolve: %d picks, optimal=%v", len(rr.Picks), rr.Optimal)
+	}
+	var ar serve.ApplyResponse
+	delta := serve.ApplyRequest{Adds: []serve.VersionAddRequest{{Pkg: "base", Version: "99.0"}}}
+	if err := postJSON(ts.URL+"/v1/apply", delta, &ar); err != nil {
+		return err
+	}
+	if ar.Epoch != 1 {
+		return fmt.Errorf("apply: epoch %d, want 1", ar.Epoch)
+	}
+	var st serve.ServerStats
+	if err := getJSON(ts.URL+"/v1/stats", &st); err != nil {
+		return err
+	}
+	if st.Requests < 1 || st.Epoch != 1 || st.Applies != 1 {
+		return fmt.Errorf("stats: requests=%d epoch=%d applies=%d", st.Requests, st.Epoch, st.Applies)
+	}
+	return nil
+}
+
+// checkCoalescing fires waves of duplicate concurrent requests on a
+// cache-disabled backend and demands the coalesce counter caught
+// duplicates. A single wave can legitimately miss (the leader may publish
+// before any follower's request arrives — coalescing collapses *overlap*,
+// and overlap is timing), so the check runs waves over pooled connections
+// until duplicates collide; the exact-count contract is pinned
+// deterministically in serve's -race tests.
+func checkCoalescing() error {
+	u, root, _ := buildUniverse("dense", 64, 8)
+	b := resolve.NewSessionResolver(u, resolve.SessionOptions{CacheSize: -1})
+	ts := httptest.NewServer(serve.New(b, serve.Options{}))
+	defer ts.Close()
+
+	const n = 16
+	for wave := 0; wave < 50; wave++ {
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for i := 0; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var rr serve.ResolveResponse
+				errs[i] = postJSON(ts.URL+"/v1/resolve", serve.ResolveRequest{Roots: []string{root}}, &rr)
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		var st serve.ServerStats
+		if err := getJSON(ts.URL+"/v1/stats", &st); err != nil {
+			return err
+		}
+		if st.Coalesced >= 1 {
+			return nil
+		}
+	}
+	return fmt.Errorf("no coalescing across 50 waves of %d duplicate requests", n)
+}
+
+func postJSON(url string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er serve.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		return fmt.Errorf("POST %s: %d %s (%s)", url, resp.StatusCode, er.Kind, er.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -229,6 +229,12 @@ type Stats struct {
 	SolutionCacheHit bool
 	BoundMemoHit     bool
 
+	// Coalesced marks an answer shared from another request's in-flight
+	// solve. The concretizer never sets it: it belongs to serving tiers
+	// (serve.Server) that collapse identical concurrent requests onto one
+	// leader solve and stamp each follower's copy.
+	Coalesced bool
+
 	// Epoch is the universe epoch the answer was computed at (0 for a
 	// never-mutated universe). Cached answers report the epoch they were
 	// solved at, which delta-scoped invalidation guarantees is still

@@ -54,6 +54,7 @@ func (se *Session) Extend(d *repo.Delta) (repo.Epoch, error) {
 	}
 	se.extendLocked(d)
 	se.epoch = se.u.Epoch()
+	se.epochA.Store(uint64(se.epoch))
 	return se.epoch, nil
 }
 

@@ -1,0 +1,130 @@
+package concretize
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+)
+
+// TestExtendVsCacheGetInterleaving pins the cacheGet lock-interleaving
+// audit (see the comment on Session.cacheGet): hammer cached Resolves
+// against a concurrent Extend and assert linearizability under -race.
+// The invariants:
+//
+//  1. Epoch consistency — every answer is wholly pre-delta or wholly
+//     post-delta: the old picks always ride with the old Stats.Epoch and
+//     the new picks with the new, never a mix.
+//  2. Freshness — a Resolve issued strictly after Extend returned can
+//     never be served the swept pre-delta entry (the sweep completes
+//     under cacheMu before Extend releases the session lock).
+//  3. No resurrection — once any post-delta answer has been observed,
+//     the cache serves hits again (touch() cannot revive a swept entry,
+//     and the re-solved answer re-enters the cache).
+func TestExtendVsCacheGetInterleaving(t *testing.T) {
+	const workers = 4
+
+	u, root := repo.SynthDiamond(3, 4)
+	se := NewSession(u, SessionOptions{})
+	roots := []Root{{Pkg: root}}
+
+	// Prime the solution cache so the workers spin on cacheGet, maximizing
+	// peek/release/promote interleavings with the sweep.
+	if _, err := se.Resolve(context.Background(), roots, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var extendReturned atomic.Bool
+	stop := make(chan struct{})
+	fail := make(chan error, workers)
+	var sawNew atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				issuedAfter := extendReturned.Load()
+				res, err := se.Resolve(context.Background(), roots, Options{})
+				if err != nil {
+					fail <- err
+					return
+				}
+				app := res.Picks["app"].String()
+				switch res.Stats.Epoch {
+				case 0:
+					if app != "4.0" {
+						fail <- fmt.Errorf("epoch-0 answer picked app@%s, want 4.0", app)
+						return
+					}
+				case 1:
+					if app != "99.0" {
+						fail <- fmt.Errorf("epoch-1 answer picked app@%s, want 99.0", app)
+						return
+					}
+					sawNew.Add(1)
+				default:
+					fail <- fmt.Errorf("answer at impossible epoch %d", res.Stats.Epoch)
+					return
+				}
+				if issuedAfter && res.Stats.Epoch != 1 {
+					fail <- fmt.Errorf("resolve issued after Extend returned got stale epoch-%d answer", res.Stats.Epoch)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the workers contend on cache hits, then land the delta mid-storm.
+	time.Sleep(10 * time.Millisecond)
+	d := repo.NewDelta()
+	d.Add("app", "99.0", repo.Dep("mid0", ":"))
+	epoch, err := se.Extend(d)
+	extendReturned.Store(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("epoch after extend = %d, want 1", epoch)
+	}
+
+	// Keep the storm running past the extension so post-delta cache hits
+	// (the re-cached epoch-1 answer) are exercised too.
+	deadline := time.After(2 * time.Second)
+	for sawNew.Load() < int64(workers) {
+		select {
+		case err := <-fail:
+			t.Fatal(err)
+		case <-deadline:
+			t.Fatalf("only %d/%d workers observed the post-delta answer", sawNew.Load(), workers)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatal(err)
+	default:
+	}
+
+	// Sanity on the final state: a fresh Resolve is a post-delta cache hit.
+	res, err := se.Resolve(context.Background(), roots, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.SolutionCacheHit || res.Stats.Epoch != 1 || res.Picks["app"].String() != "99.0" {
+		t.Fatalf("final answer hit=%v epoch=%d app=%s, want cached epoch-1 app@99.0",
+			res.Stats.SolutionCacheHit, res.Stats.Epoch, res.Picks["app"])
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
 	"github.com/paper-repo-growth/go-arxiv/internal/sat"
@@ -72,6 +73,12 @@ type Session struct {
 	u     *repo.Universe
 	epoch repo.Epoch // universe epoch the skeleton reflects (guarded by mu)
 	full  bool       // skeleton covers the whole universe (Extend requires it)
+
+	// epochA mirrors epoch for lock-free reads: serving tiers key request
+	// coalescing on Epoch(), and an Epoch() that waited on mu would
+	// serialize behind in-flight solves — exactly the requests coalescing
+	// exists to collapse. Written under mu, read without.
+	epochA atomic.Uint64
 
 	// mu serializes all solver access (the encoding, activation literals,
 	// and the branch-and-bound loop all mutate solver state).
@@ -205,6 +212,7 @@ func newSession(u *repo.Universe, names []string, opts SessionOptions, full bool
 		pinnedBuf:     make(map[sat.Lit]bool),
 		byPartBuf:     make(map[string]Root),
 	}
+	se.epochA.Store(uint64(se.epoch))
 	if se.actsMax == 0 {
 		se.actsMax = DefaultSessionMaxActivations
 	}
@@ -234,11 +242,11 @@ func (se *Session) Fingerprint() string {
 }
 
 // Epoch returns the universe epoch the session's skeleton currently
-// reflects.
+// reflects. It never blocks — in particular not on an in-flight solve —
+// so serving tiers can read it on every request to qualify coalescing
+// keys.
 func (se *Session) Epoch() repo.Epoch {
-	se.mu.Lock()
-	defer se.mu.Unlock()
-	return se.epoch
+	return repo.Epoch(se.epochA.Load())
 }
 
 // CacheLen returns the number of memoized resolutions currently held.
@@ -591,6 +599,25 @@ func canonicalRootParts(roots []Root) []string {
 	return out
 }
 
+// ShapeKey returns the canonical request-shape key for (objective, roots):
+// the objective's Key plus the sorted, deduplicated root specs. Requests
+// with equal shape keys are answer-identical against the same universe
+// epoch — the invariant behind the Session's solution cache, exported so
+// serving tiers can coalesce identical in-flight requests onto one solve.
+// A nil objective selects DefaultObjective, mirroring Resolve.
+func ShapeKey(obj Objective, roots []Root) string {
+	if obj == nil {
+		obj = DefaultObjective
+	}
+	return shapeKey(obj, canonicalRootParts(roots))
+}
+
+// shapeKey joins an objective identity with already-canonicalized root
+// parts; Session.Resolve uses it directly to avoid re-canonicalizing.
+func shapeKey(obj Objective, parts []string) string {
+	return obj.Key() + "\x00" + strings.Join(parts, "\x1f")
+}
+
 // Resolve answers one concretization request on the warm path. The result
 // contract is identical to Concretize: optimal resolution under the
 // request's objective, a *UnsatError, or a wrapped ErrBudget, with
@@ -626,7 +653,7 @@ func (se *Session) Resolve(ctx context.Context, roots []Root, opts Options) (*Re
 	// the key — Extend's delta-scoped invalidation drops exactly the
 	// entries a delta could change, so surviving entries stay valid across
 	// universe growth.
-	shapeKey := obj.Key() + "\x00" + strings.Join(parts, "\x1f")
+	shapeKey := shapeKey(obj, parts)
 	if res, err, ok := se.cacheGet(shapeKey, roots); ok {
 		return res, err
 	}
@@ -1005,6 +1032,21 @@ func (se *Session) decode(order []string) (map[string]version.Version, error) {
 }
 
 // cacheGet looks up a memoized answer. It returns copies the caller owns.
+//
+// Lock-interleaving note (audited against Extend's delta-scoped
+// invalidation): the entry is read under the RLock, the lock released, and
+// re-taken exclusively only to promote. An Extend can therefore sweep the
+// entry between the peek and the return — but the peek itself is atomic
+// with respect to the sweep (both hold cacheMu), so a request observes the
+// entry either wholly before the sweep or not at all. A pre-delta answer
+// is thus only ever served to a Resolve that overlaps the Extend in time —
+// a linearizable ordering (the resolve "happened before" the apply) — and
+// its Stats.Epoch reports the pre-delta epoch it was solved at. A Resolve
+// whose cacheGet starts after Extend returns can never see the swept
+// entry: the sweep completes under cacheMu before Extend's session lock is
+// released, so the happens-before edge is the lock itself. touch() cannot
+// resurrect a swept entry (it promotes only keys still present). Pinned by
+// TestExtendVsCacheGetInterleaving.
 func (se *Session) cacheGet(key string, roots []Root) (*Resolution, error, bool) {
 	if se.cache == nil {
 		return nil, nil, false

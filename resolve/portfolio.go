@@ -43,6 +43,22 @@ func DefaultPortfolio() []BackendConfig {
 	}
 }
 
+// ErrNoActiveMembers is returned by PortfolioResolver.Resolve when every
+// member has been quarantined by a failed Apply broadcast: the portfolio
+// has fail-stopped and can only be rebuilt.
+var ErrNoActiveMembers = errors.New("resolve: portfolio has no active members")
+
+// MemberHealth reports one portfolio member's serving state. A quarantined
+// member failed to extend during an Apply broadcast: its skeleton is behind
+// the shared universe, so it is excluded from every subsequent Resolve race
+// (a stale member could win with a pre-delta answer).
+type MemberHealth struct {
+	Name        string
+	Quarantined bool
+	Epoch       Epoch // universe epoch the member's skeleton reflects
+	Err         error // the extension error that quarantined it (nil when healthy)
+}
+
 // PortfolioResolver races differently-configured Sessions over the same
 // universe on every request and returns the first definitive answer —
 // an optimal resolution or a proof of unsatisfiability — canceling the
@@ -60,18 +76,27 @@ func DefaultPortfolio() []BackendConfig {
 // applied once and every member's skeleton extends in place, under a
 // write barrier that quiesces requests — a racing Resolve observes every
 // member either wholly before or wholly after the delta, never a
-// half-applied portfolio.
+// half-applied portfolio. A member whose extension fails is quarantined
+// rather than left racing at a stale epoch; see Apply.
 type PortfolioResolver struct {
+	u *repo.Universe
+
 	// mu quiesces the portfolio around Apply: Resolve holds it shared (the
 	// members' own session locks serialize actual solving), Apply holds it
 	// exclusively while broadcasting the delta across members.
 	mu      sync.RWMutex
 	members []portfolioMember
+
+	// testExtendHook, when set, injects a fault before a member's Extend
+	// during Apply (test-only: the real later-member failure modes require
+	// universe corruption, which fault-injection tests simulate here).
+	testExtendHook func(member string) error
 }
 
 type portfolioMember struct {
 	name string
 	se   *concretize.Session
+	err  error // quarantine reason; nil while the member is healthy
 }
 
 var _ Resolver = (*PortfolioResolver)(nil)
@@ -84,7 +109,7 @@ func NewPortfolioResolver(u *repo.Universe, configs ...BackendConfig) (*Portfoli
 		configs = DefaultPortfolio()
 	}
 	seen := make(map[string]bool, len(configs))
-	p := &PortfolioResolver{}
+	p := &PortfolioResolver{u: u}
 	for _, c := range configs {
 		if c.Name == "" {
 			return nil, fmt.Errorf("resolve: portfolio config with empty name")
@@ -102,34 +127,60 @@ func NewPortfolioResolver(u *repo.Universe, configs ...BackendConfig) (*Portfoli
 }
 
 // Apply grows the shared universe by one append-only delta and broadcasts
-// it across the members: the first member's Extend applies the delta to
-// the universe, each subsequent member sees the universe one epoch ahead
-// of its skeleton and extends in place (the epoch contract on
-// concretize.Session.Extend). The broadcast runs under the portfolio's
-// write barrier, so no request ever races a half-applied portfolio. A
-// validation failure on the first member mutates nothing; an extension
-// error on a later member is returned wrapped with the member's name (and
-// leaves that member behind — construction-order determinism makes this
-// reachable only through universe corruption).
+// it across the members. The delta is applied to the universe exactly once
+// (a validation failure mutates nothing and touches no member); each
+// member then extends its skeleton in place under the portfolio's write
+// barrier, so no request ever races a half-applied portfolio.
+//
+// The broadcast is all-or-nothing from the caller's view: a member whose
+// extension fails (reachable only through universe corruption — e.g. the
+// universe mutated behind the portfolio's back) is quarantined — excluded
+// from every subsequent Resolve race and reported through Health() — while
+// the remaining members complete the broadcast at the new epoch. The
+// returned error is a *MemberError (or errors.Join of several) naming each
+// quarantined member; the returned epoch is the universe's new epoch,
+// which every still-healthy member serves at. A portfolio whose members
+// are all quarantined fail-stops: Resolve returns ErrNoActiveMembers.
 func (p *PortfolioResolver) Apply(d *Delta) (Epoch, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var epoch Epoch
-	for i, m := range p.members {
-		e, err := m.se.Extend(d)
-		if err != nil {
-			if i == 0 {
-				return e, err
-			}
-			return e, fmt.Errorf("resolve: member %s: %w", m.name, err)
-		}
-		epoch = e
+	// Apply the delta to the shared universe once. Validation failures
+	// abort cleanly: nothing mutated, no member touched, no quarantine.
+	epoch, err := p.u.Apply(d)
+	if err != nil {
+		return p.u.Epoch(), err
 	}
-	return epoch, nil
+	// Broadcast: every healthy member extends its skeleton to the already
+	// -applied delta (the sibling case of the Session.Extend epoch
+	// contract). A failure quarantines the member; the loop continues so
+	// the surviving members all reach the new epoch.
+	var errs []error
+	for i := range p.members {
+		m := &p.members[i]
+		if m.err != nil {
+			continue // quarantined by an earlier broadcast
+		}
+		err := error(nil)
+		if p.testExtendHook != nil {
+			err = p.testExtendHook(m.name)
+		}
+		if err == nil {
+			_, err = m.se.Extend(d)
+		}
+		if err != nil {
+			m.err = err
+			errs = append(errs, &MemberError{Member: m.name, Epoch: m.se.Epoch(), Err: err})
+		}
+	}
+	return epoch, errors.Join(errs...)
 }
 
-// Members returns the member configuration names, in racing order.
+// Members returns the member configuration names, in racing order;
+// quarantined members are included (they remain configured, just not
+// racing — see Health).
 func (p *PortfolioResolver) Members() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	names := make([]string, len(p.members))
 	for i, m := range p.members {
 		names[i] = m.name
@@ -137,11 +188,33 @@ func (p *PortfolioResolver) Members() []string {
 	return names
 }
 
+// Health reports each member's serving state, in racing order: its name,
+// the epoch its skeleton reflects, and — for quarantined members — the
+// Apply-broadcast error that benched it.
+func (p *PortfolioResolver) Health() []MemberHealth {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]MemberHealth, len(p.members))
+	for i, m := range p.members {
+		out[i] = MemberHealth{Name: m.name, Quarantined: m.err != nil, Epoch: m.se.Epoch(), Err: m.err}
+	}
+	return out
+}
+
+// Epoch returns the epoch of the shared universe, which every healthy
+// member serves at (the write barrier keeps them in lockstep).
+func (p *PortfolioResolver) Epoch() Epoch {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.u.Epoch()
+}
+
 // outcome is one member's answer to one request.
 type outcome struct {
-	name string
-	res  *concretize.Resolution
-	err  error
+	name  string
+	epoch Epoch
+	res   *concretize.Resolution
+	err   error
 }
 
 // definitive reports whether the outcome settles the request: an optimal
@@ -154,11 +227,14 @@ func (o outcome) definitive() bool {
 	return o.res.Stats.Optimal
 }
 
-// Resolve implements Resolver: it fires the request into every member
-// concurrently, returns the first definitive answer, and cancels the
-// rest. All members are drained before returning, so a PortfolioResolver
-// is quiescent between calls and safe for concurrent use (each member
-// Session serializes its own solver).
+// Resolve implements Resolver: it fires the request into every healthy
+// member concurrently, returns the first definitive answer, and cancels
+// the rest. All members are drained before returning, so a
+// PortfolioResolver is quiescent between calls and safe for concurrent use
+// (each member Session serializes its own solver). Every error produced by
+// a member — a definitive unsatisfiability proof included — is wrapped in
+// a *MemberError carrying the member's name and epoch, mirroring the
+// attribution (Result.Config, Result.Stats) the success path carries.
 func (p *PortfolioResolver) Resolve(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -167,23 +243,41 @@ func (p *PortfolioResolver) Resolve(ctx context.Context, req Request) (*Result, 
 	// each other, never interleaved with a half-broadcast delta.
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	active := make([]*portfolioMember, 0, len(p.members))
+	for i := range p.members {
+		if p.members[i].err == nil {
+			active = append(active, &p.members[i])
+		}
+	}
+	if len(active) == 0 {
+		if len(p.members) == 0 {
+			return nil, fmt.Errorf("resolve: portfolio has no members")
+		}
+		return nil, ErrNoActiveMembers
+	}
 	race, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	opts := concretize.Options{MaxConflicts: req.MaxConflicts, Objective: req.Objective}
-	outcomes := make(chan outcome, len(p.members))
-	for _, m := range p.members {
+	outcomes := make(chan outcome, len(active))
+	for _, m := range active {
 		m := m
 		go func() {
 			res, err := m.se.Resolve(race, req.Roots, opts)
-			outcomes <- outcome{name: m.name, res: res, err: err}
+			var epoch Epoch
+			if res != nil {
+				epoch = res.Stats.Epoch
+			} else {
+				epoch = m.se.Epoch()
+			}
+			outcomes <- outcome{name: m.name, epoch: epoch, res: res, err: err}
 		}()
 	}
 
 	var winner *outcome
 	var fallback *outcome // best non-definitive incumbent (lowest cost)
 	var firstErr error    // first non-cancellation error
-	for remaining := len(p.members); remaining > 0; remaining-- {
+	for remaining := len(active); remaining > 0; remaining-- {
 		o := <-outcomes
 		switch {
 		case winner != nil:
@@ -201,13 +295,17 @@ func (p *PortfolioResolver) Resolve(ctx context.Context, req Request) (*Result, 
 			// Canceled loser — or the caller's own context firing, which
 			// the post-drain ctx.Err() check reports.
 		case firstErr == nil:
-			firstErr = fmt.Errorf("resolve: member %s: %w", o.name, o.err)
+			firstErr = &MemberError{Member: o.name, Epoch: o.epoch, Err: o.err}
 		}
 	}
 
 	if winner != nil {
 		if winner.err != nil {
-			return nil, winner.err
+			// A definitive unsat proof carries the same attribution as a
+			// definitive resolution: which member proved it, at what epoch.
+			// Unwrap preserves errors.Is(ErrUnsatisfiable) and
+			// errors.As(*UnsatError) for callers matching the taxonomy.
+			return nil, &MemberError{Member: winner.name, Epoch: winner.epoch, Err: winner.err}
 		}
 		return &Result{Picks: winner.res.Picks, Stats: winner.res.Stats, Config: winner.name}, nil
 	}
@@ -220,5 +318,7 @@ func (p *PortfolioResolver) Resolve(ctx context.Context, req Request) (*Result, 
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return nil, fmt.Errorf("resolve: portfolio has no members")
+	// Unreachable in practice: a member only reports cancellation when the
+	// race context fired, which the winner and ctx.Err() paths cover.
+	return nil, fmt.Errorf("resolve: portfolio drained without an answer")
 }

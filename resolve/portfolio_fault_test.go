@@ -1,0 +1,195 @@
+package resolve
+
+// White-box fault-injection tests for the Apply broadcast path: the
+// production failure mode (a member Extend failing mid-broadcast) is only
+// reachable through universe corruption, so testExtendHook simulates it.
+// These pin the quarantine contract introduced by the partial-broadcast
+// bugfix: a failed member is benched, not left racing at a stale epoch.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+)
+
+func diamondDelta() *Delta {
+	d := NewDelta()
+	d.Add("app", "99.0", repo.Dep("mid0", ":"))
+	return d
+}
+
+// TestPortfolioApplyQuarantinesFailedMember: a member whose Extend fails
+// during the broadcast is quarantined — attributed in the returned error,
+// visible in Health, and excluded from every subsequent race — while the
+// surviving members complete the broadcast and keep serving.
+func TestPortfolioApplyQuarantinesFailedMember(t *testing.T) {
+	u, root := repo.SynthDiamond(3, 4)
+	p := mustPortfolio(t, u)
+	p.testExtendHook = func(member string) error {
+		if member == "positive" {
+			return fmt.Errorf("injected extend fault")
+		}
+		return nil
+	}
+
+	epoch, err := p.Apply(diamondDelta())
+	if epoch != 1 {
+		t.Fatalf("epoch after apply = %d, want 1 (universe must advance)", epoch)
+	}
+	if err == nil {
+		t.Fatal("broadcast with a failing member returned nil error")
+	}
+	var me *MemberError
+	if !errors.As(err, &me) {
+		t.Fatalf("broadcast error %T lost member attribution: %v", err, err)
+	}
+	if me.Member != "positive" {
+		t.Fatalf("attributed member = %q, want positive", me.Member)
+	}
+
+	// Health: the failed member is quarantined at its stale epoch; every
+	// survivor reached the new epoch.
+	quarantined := 0
+	for _, h := range p.Health() {
+		if h.Name == "positive" {
+			if !h.Quarantined || h.Err == nil {
+				t.Fatalf("failed member not quarantined: %+v", h)
+			}
+			if h.Epoch != 0 {
+				t.Fatalf("quarantined member epoch = %d, want stale 0", h.Epoch)
+			}
+			quarantined++
+			continue
+		}
+		if h.Quarantined {
+			t.Fatalf("healthy member %s quarantined: %v", h.Name, h.Err)
+		}
+		if h.Epoch != 1 {
+			t.Fatalf("healthy member %s at epoch %d, want 1", h.Name, h.Epoch)
+		}
+	}
+	if quarantined != 1 {
+		t.Fatalf("quarantined members = %d, want 1", quarantined)
+	}
+	// Members() still lists the full configuration, quarantined included.
+	if got := len(p.Members()); got != len(DefaultPortfolio()) {
+		t.Fatalf("Members() = %d names, want %d", got, len(DefaultPortfolio()))
+	}
+
+	// The quarantined member must never win a race: it would answer from a
+	// pre-delta skeleton. Repeat to give it every chance to race.
+	req := Request{Roots: []Root{{Pkg: root}}, Objective: NewestVersion()}
+	for i := 0; i < 8; i++ {
+		res, err := p.Resolve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Config == "positive" {
+			t.Fatal("quarantined member won a race")
+		}
+		if res.Picks["app"].String() != "99.0" {
+			t.Fatalf("post-apply resolve picked app@%s, want 99.0", res.Picks["app"])
+		}
+		if res.Stats.Epoch != 1 {
+			t.Fatalf("answer epoch = %d, want 1", res.Stats.Epoch)
+		}
+	}
+}
+
+// TestPortfolioAllQuarantinedFailStops: when the broadcast benches every
+// member, the portfolio fail-stops — Resolve refuses with
+// ErrNoActiveMembers rather than inventing an answer.
+func TestPortfolioAllQuarantinedFailStops(t *testing.T) {
+	u, root := repo.SynthDiamond(3, 4)
+	p := mustPortfolio(t, u)
+	p.testExtendHook = func(member string) error {
+		return fmt.Errorf("injected extend fault for %s", member)
+	}
+
+	epoch, err := p.Apply(diamondDelta())
+	if epoch != 1 {
+		t.Fatalf("epoch = %d, want 1", epoch)
+	}
+	if err == nil {
+		t.Fatal("total broadcast failure returned nil error")
+	}
+
+	_, err = p.Resolve(context.Background(), Request{Roots: []Root{{Pkg: root}}, Objective: NewestVersion()})
+	if !errors.Is(err, ErrNoActiveMembers) {
+		t.Fatalf("resolve after total quarantine = %v, want ErrNoActiveMembers", err)
+	}
+}
+
+// TestPortfolioQuarantineSticks: a second Apply must not resurrect a
+// quarantined member — it skipped a delta, so it stays behind forever.
+func TestPortfolioQuarantineSticks(t *testing.T) {
+	u, _ := repo.SynthDiamond(3, 4)
+	p := mustPortfolio(t, u)
+	fail := true
+	p.testExtendHook = func(member string) error {
+		if fail && member == "steady" {
+			return fmt.Errorf("injected extend fault")
+		}
+		return nil
+	}
+
+	if _, err := p.Apply(diamondDelta()); err == nil {
+		t.Fatal("want broadcast error")
+	}
+	fail = false // the fault is gone — but the member already missed a delta
+
+	d2 := NewDelta()
+	d2.Add("app", "100.0", repo.Dep("mid0", ":"))
+	epoch, err := p.Apply(d2)
+	if epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", epoch)
+	}
+	if err != nil {
+		t.Fatalf("second broadcast over healthy members failed: %v", err)
+	}
+	for _, h := range p.Health() {
+		if h.Name == "steady" {
+			if !h.Quarantined {
+				t.Fatal("quarantined member resurrected by a later Apply")
+			}
+			if h.Epoch != 0 {
+				t.Fatalf("quarantined member epoch = %d, want 0 (never extended)", h.Epoch)
+			}
+		} else if h.Epoch != 2 {
+			t.Fatalf("member %s at epoch %d, want 2", h.Name, h.Epoch)
+		}
+	}
+}
+
+// TestPortfolioUnsatAttribution pins the second bugfix: a definitive
+// unsat answer surfaces WHICH member proved it (via *MemberError) while
+// preserving the whole error taxonomy for errors.Is/As callers.
+func TestPortfolioUnsatAttribution(t *testing.T) {
+	u, root := repo.SynthUnsatWeb(4, 2)
+	p := mustPortfolio(t, u)
+
+	_, err := p.Resolve(context.Background(), Request{Roots: []Root{{Pkg: root}}, Objective: NewestVersion()})
+	if err == nil {
+		t.Fatal("unsat web resolved")
+	}
+	var me *MemberError
+	if !errors.As(err, &me) {
+		t.Fatalf("unsat answer %T lost member attribution: %v", err, err)
+	}
+	if me.Member == "" {
+		t.Fatal("member attribution empty")
+	}
+	var unsat *UnsatError
+	if !errors.As(err, &unsat) {
+		t.Fatalf("wrapping broke errors.As(*UnsatError): %v", err)
+	}
+	if len(unsat.Roots) == 0 {
+		t.Fatal("unsat error lost its roots")
+	}
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("wrapping broke errors.Is(ErrUnsatisfiable): %v", err)
+	}
+}

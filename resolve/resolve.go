@@ -47,6 +47,7 @@ package resolve
 
 import (
 	"context"
+	"fmt"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
@@ -91,6 +92,24 @@ type (
 // NewDelta returns an empty delta ready for Add calls.
 func NewDelta() *Delta { return repo.NewDelta() }
 
+// MemberError attributes a portfolio member's failure: which configuration
+// produced the error and at what universe epoch. The definitive-unsat
+// winner path, the broadcast-quarantine path, and the first-error fallback
+// all wrap through it, so callers get uniform attribution; Unwrap keeps
+// errors.Is(ErrUnsatisfiable) and errors.As(*UnsatError) matching the
+// underlying taxonomy.
+type MemberError struct {
+	Member string
+	Epoch  Epoch
+	Err    error
+}
+
+func (e *MemberError) Error() string {
+	return fmt.Sprintf("resolve: member %s (epoch %d): %v", e.Member, e.Epoch, e.Err)
+}
+
+func (e *MemberError) Unwrap() error { return e.Err }
+
 // Typed failure taxonomy, re-exported so serving-tier callers match
 // errors without importing the concretizer.
 var (
@@ -127,6 +146,18 @@ type Request struct {
 	// MaxConflicts bounds solver effort per backend solve; <= 0 means
 	// unbounded. Prefer a context deadline for wall-clock bounds.
 	MaxConflicts int64
+}
+
+// Key returns the request's canonical shape key: the objective's identity
+// plus the canonicalized (sorted, deduplicated) roots. Two requests with
+// equal keys are answer-identical against the same universe epoch — the
+// property the Session solution cache relies on internally, exported here
+// so serving tiers can coalesce identical in-flight requests to one solve.
+// MaxConflicts is deliberately excluded: budget is an effort cap, not part
+// of the request's meaning (serving tiers that let clients pick budgets
+// should qualify their coalescing key with it).
+func (req Request) Key() string {
+	return concretize.ShapeKey(req.Objective, req.Roots)
 }
 
 // Result is a concrete resolution: the picks, the effort spent producing
@@ -196,3 +227,8 @@ func (r *SessionResolver) Resolve(ctx context.Context, req Request) (*Result, er
 // CacheLen exposes the underlying Session's solution-cache size
 // (observability for serving tiers).
 func (r *SessionResolver) CacheLen() int { return r.se.CacheLen() }
+
+// Epoch returns the universe epoch the resolver's session currently
+// serves at (advanced by Apply). Serving tiers qualify coalescing keys
+// with it so requests straddling a delta never share an answer.
+func (r *SessionResolver) Epoch() Epoch { return r.se.Epoch() }

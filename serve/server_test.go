@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+	"github.com/paper-repo-growth/go-arxiv/resolve"
+)
+
+func newDiamondServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	u, _ := repo.SynthDiamond(4, 6)
+	s := New(resolve.NewSessionResolver(u, resolve.SessionOptions{}), Options{})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, ErrorResponse) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er ErrorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, er
+}
+
+// TestServerResolveMatchesDirect: the HTTP path returns the same answer as
+// calling the resolver directly — the wire adds transport, not semantics.
+func TestServerResolveMatchesDirect(t *testing.T) {
+	u, root := repo.SynthDiamond(4, 6)
+	direct, err := resolve.NewSessionResolver(u, resolve.SessionOptions{}).
+		Resolve(context.Background(), resolve.Request{
+			Roots: []resolve.Root{{Pkg: root}}, Objective: resolve.NewestVersion(),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := newDiamondServer(t)
+	var rr ResolveResponse
+	status, er := postJSON(t, ts.URL+"/v1/resolve", ResolveRequest{Roots: []string{root}}, &rr)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, er.Error)
+	}
+	if !rr.Optimal {
+		t.Fatal("daemon answer not optimal")
+	}
+	if rr.Cost != direct.Stats.Cost {
+		t.Fatalf("daemon cost %d != direct cost %d", rr.Cost, direct.Stats.Cost)
+	}
+	if len(rr.Picks) != len(direct.Picks) {
+		t.Fatalf("daemon picked %d packages, direct %d", len(rr.Picks), len(direct.Picks))
+	}
+	for pkg, v := range direct.Picks {
+		if rr.Picks[pkg] != v.String() {
+			t.Fatalf("pick %s: daemon %s, direct %s", pkg, rr.Picks[pkg], v)
+		}
+	}
+}
+
+// TestServerUnsatAttribution: a proven-unsat answer maps to 422 with kind
+// "unsat", the offending roots, and — on a portfolio backend — the member
+// that produced the proof.
+func TestServerUnsatAttribution(t *testing.T) {
+	u, root := repo.SynthUnsatWeb(4, 2)
+	p, err := resolve.NewPortfolioResolver(u, resolve.DefaultPortfolio()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(p, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var rr ResolveResponse
+	status, er := postJSON(t, ts.URL+"/v1/resolve", ResolveRequest{Roots: []string{root}}, &rr)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", status)
+	}
+	if er.Kind != "unsat" {
+		t.Fatalf("kind = %q, want unsat", er.Kind)
+	}
+	if len(er.Roots) == 0 || !strings.Contains(er.Roots[0], root) {
+		t.Fatalf("unsat roots missing attribution: %v", er.Roots)
+	}
+	if er.Member == "" {
+		t.Fatal("portfolio unsat lost member attribution")
+	}
+	if s.Stats().Unsat != 1 {
+		t.Fatalf("unsat counter = %d, want 1", s.Stats().Unsat)
+	}
+}
+
+// TestServerUnknownRoot: asking for a package the universe has never heard
+// of is a client error, not a server failure.
+func TestServerUnknownRoot(t *testing.T) {
+	_, ts := newDiamondServer(t)
+	var rr ResolveResponse
+	status, er := postJSON(t, ts.URL+"/v1/resolve", ResolveRequest{Roots: []string{"no-such-package"}}, &rr)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+	if er.Kind != "unknown_package" {
+		t.Fatalf("kind = %q, want unknown_package", er.Kind)
+	}
+}
+
+// TestServerApplyRoundtrip: an applied delta advances the epoch and the
+// next resolve sees the new world — the daemon serves a live universe.
+func TestServerApplyRoundtrip(t *testing.T) {
+	_, ts := newDiamondServer(t)
+
+	var before ResolveResponse
+	if status, er := postJSON(t, ts.URL+"/v1/resolve", ResolveRequest{Roots: []string{"app"}}, &before); status != http.StatusOK {
+		t.Fatalf("pre-apply resolve: %d %s", status, er.Error)
+	}
+
+	var ar ApplyResponse
+	status, er := postJSON(t, ts.URL+"/v1/apply", ApplyRequest{Adds: []VersionAddRequest{{
+		Pkg: "app", Version: "99.0",
+		Deps: []DeclRequest{{Pkg: "mid0", Range: "1:"}},
+	}}}, &ar)
+	if status != http.StatusOK {
+		t.Fatalf("apply: %d %s", status, er.Error)
+	}
+	if ar.Epoch != 1 {
+		t.Fatalf("epoch after apply = %d, want 1", ar.Epoch)
+	}
+
+	var after ResolveResponse
+	if status, er := postJSON(t, ts.URL+"/v1/resolve", ResolveRequest{Roots: []string{"app"}}, &after); status != http.StatusOK {
+		t.Fatalf("post-apply resolve: %d %s", status, er.Error)
+	}
+	if after.Picks["app"] != "99.0" {
+		t.Fatalf("post-apply pick app=%s, want the freshly added 99.0", after.Picks["app"])
+	}
+	if after.Epoch != 1 {
+		t.Fatalf("post-apply answer epoch = %d, want 1", after.Epoch)
+	}
+	if before.Picks["app"] == after.Picks["app"] {
+		t.Fatal("apply changed nothing observable")
+	}
+}
+
+// TestServerApplyRejectsBadWire: malformed versions and ranges must be
+// caught at the wire boundary — repo.Delta.Add panics on bad literals and
+// wire input must never reach it.
+func TestServerApplyRejectsBadWire(t *testing.T) {
+	_, ts := newDiamondServer(t)
+	for _, bad := range []ApplyRequest{
+		{},
+		{Adds: []VersionAddRequest{{Pkg: "x", Version: "1..0"}}},
+		{Adds: []VersionAddRequest{{Pkg: "", Version: "1.0"}}},
+		{Adds: []VersionAddRequest{{Pkg: "x", Version: "1.0", Deps: []DeclRequest{{Pkg: "y", Range: "1:2:3"}}}}},
+	} {
+		var ar ApplyResponse
+		status, er := postJSON(t, ts.URL+"/v1/apply", bad, &ar)
+		if status != http.StatusBadRequest {
+			t.Fatalf("bad apply %+v: status %d (%s), want 400", bad, status, er.Error)
+		}
+	}
+}
+
+// TestServerStatsAndHealthz: the ops surface is wired — stats counts the
+// traffic and reports portfolio member health; healthz answers.
+func TestServerStatsAndHealthz(t *testing.T) {
+	u, root := repo.SynthDiamond(4, 6)
+	p, err := resolve.NewPortfolioResolver(u, resolve.DefaultPortfolio()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(p, Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var rr ResolveResponse
+	for i := 0; i < 3; i++ {
+		if status, er := postJSON(t, ts.URL+"/v1/resolve", ResolveRequest{Roots: []string{root}}, &rr); status != http.StatusOK {
+			t.Fatalf("resolve %d: %d %s", i, status, er.Error)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3 {
+		t.Fatalf("stats requests = %d, want 3", st.Requests)
+	}
+	if st.Solves < 1 {
+		t.Fatal("stats recorded no solves")
+	}
+	if len(st.Members) == 0 {
+		t.Fatal("portfolio backend reported no member health")
+	}
+	for _, m := range st.Members {
+		if m.Quarantined {
+			t.Fatalf("member %s unexpectedly quarantined: %s", m.Name, m.Error)
+		}
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hz.StatusCode)
+	}
+}
+
+// TestServerRejectsBadJSON: garbage and unknown fields are 400s.
+func TestServerRejectsBadJSON(t *testing.T) {
+	_, ts := newDiamondServer(t)
+	for _, body := range []string{
+		"{not json",
+		`{"roots": ["app"], "surprise_field": 1}`,
+		`{}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/resolve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerDeadlineOnHardInstance: a minutes-hard refutation under a tiny
+// deadline comes back 504 promptly — the deadline reaches the solver.
+func TestServerDeadlineOnHardInstance(t *testing.T) {
+	u, root := repo.SynthPigeonhole(11)
+	s := New(resolve.NewSessionResolver(u, resolve.SessionOptions{}), Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var rr ResolveResponse
+	status, er := postJSON(t, ts.URL+"/v1/resolve", ResolveRequest{Roots: []string{root}, TimeoutMS: 150}, &rr)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (kind %s), want 504", status, er.Kind)
+	}
+	if er.Kind != "timeout" {
+		t.Fatalf("kind = %q, want timeout", er.Kind)
+	}
+	if s.Stats().Timeouts != 1 {
+		t.Fatalf("timeout counter = %d, want 1", s.Stats().Timeouts)
+	}
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"github.com/paper-repo-growth/go-arxiv/resolve"
+)
+
+// flight is one in-flight leader solve that duplicate arrivals wait on.
+// res/err are written exactly once, before done is closed; followers read
+// them only after <-done, so no lock guards them.
+type flight struct {
+	done chan struct{}
+	res  *resolve.Result
+	err  error
+}
+
+// group coalesces duplicate in-flight work by key: the first arrival for a
+// key becomes the leader and runs fn; arrivals while the leader is in
+// flight become followers and share its outcome. The leader removes the
+// key before publishing, so a request arriving after completion starts a
+// fresh flight — coalescing collapses concurrency, never staleness (and
+// the key carries the universe epoch anyway; see Server.resolveOnce).
+type group struct {
+	mu sync.Mutex
+	m  map[string]*flight
+
+	// onJoin, when set, fires the moment a follower attaches to an
+	// in-flight leader — before it starts waiting — so coalescing is
+	// observable (metrics, tests) while the flight is still running.
+	onJoin func()
+}
+
+// do runs fn under the key, coalescing with an existing flight if one is
+// in progress. It reports whether this call was a follower (coalesced).
+// Followers honor their own ctx: a follower whose deadline fires before
+// the leader publishes gives up with ctx's error — the leader's solve is
+// unaffected. The returned Result is shared between the leader and every
+// follower; callers copy before mutating or stamping (copyResult).
+func (g *group) do(ctx context.Context, key string, fn func() (*resolve.Result, error)) (res *resolve.Result, err error, coalesced bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		if g.onJoin != nil {
+			g.onJoin()
+		}
+		select {
+		case <-f.done:
+			return f.res, f.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.res, f.err = fn()
+
+	// Deregister before publishing: once done is observable, new arrivals
+	// must start a fresh flight rather than read a completed one.
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.res, f.err, false
+}
