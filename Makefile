@@ -8,9 +8,9 @@ BENCH_JSON ?= BENCH_$(PR).json
 # the numbers in $(BENCH_JSON) so performance is tracked across PRs.
 BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver|BenchmarkSessionChurn|BenchmarkSessionExtend|BenchmarkDaemon
 
-.PHONY: all build vet fmt test race bench benchdiff fuzz-smoke serve-smoke
+.PHONY: all build vet fmt lint satcheck test race bench benchdiff fuzz-smoke serve-smoke
 
-all: fmt build vet test
+all: fmt build vet lint test
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,18 @@ vet:
 
 fmt:
 	@test -z "$$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files need formatting"; exit 1; }
+
+# Project-specific static analysis: the goarxivlint suite (lockheldcall,
+# errtaxonomy, slicereturn, ctxthread) over the whole module, test variants
+# included. Blocking in CI; see internal/analysis/README.md.
+lint: vet
+	$(GO) run ./cmd/goarxivlint ./...
+
+# The checked solver build: the sat/concretize/resolve/serve suites with
+# deep solver-state audits (internal/sat/invariants.go) at every mutating
+# entry point.
+satcheck:
+	$(GO) test -tags satcheck ./internal/... ./resolve/... ./serve/...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,59 @@
+// Command goarxivlint runs the project's analyzer suite (see
+// internal/analysis) over the named packages — default ./... — and exits
+// nonzero if any analyzer reports a finding. It is the blocking lint gate
+// behind `make lint`.
+//
+// Usage:
+//
+//	goarxivlint [packages]
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis"
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/ctxthread"
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/errtaxonomy"
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/lockheldcall"
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/slicereturn"
+)
+
+// suite is the full analyzer set goarxivlint enforces.
+var suite = []*analysis.Analyzer{
+	lockheldcall.Analyzer,
+	errtaxonomy.Analyzer,
+	slicereturn.Analyzer,
+	ctxthread.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goarxivlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(prog, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goarxivlint: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

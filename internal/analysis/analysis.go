@@ -1,0 +1,55 @@
+// Package analysis is a small, self-contained static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, built only on the standard
+// library (go/parser + go/types over `go list` metadata) so the linter
+// works in hermetic builds with no module downloads.
+//
+// An Analyzer inspects one package at a time through a Pass. Packages are
+// loaded and typechecked from source by Load (see load.go), and project
+// annotations (`// goarxivlint:` directives) are indexed across the whole
+// program by BuildDirectives (see directives.go) so analyzers can see
+// annotations on objects defined in other packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named analysis and its entry point.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between the driver and one analyzer run over one
+// package. Analyzers report problems via Report/Reportf and must not
+// retain the Pass after Run returns.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Dirs indexes goarxivlint directives program-wide, so a pass over
+	// package serve can see annotations declared in package resolve.
+	Dirs *Directives
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf formats and reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,109 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want "regexp"` comments in the fixture
+// source, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <analyzer>/testdata/src/<fixture>/ — inside the
+// module, so they typecheck with the ordinary loader, but under a
+// testdata directory so `./...` wildcards (the build, the lint gate)
+// never see them. A fixture file imports sibling fixture packages by
+// their full module path.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis"
+)
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+var strRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture rooted at dir (patterns default to "./..."),
+// applies the analyzer to every target package, and reports mismatches
+// between diagnostics and // want comments as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	prog, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	seenFile := make(map[string]bool)
+	for _, pkg := range prog.Targets() {
+		for _, f := range pkg.Files {
+			name := prog.Fset.Position(f.Pos()).Filename
+			if seenFile[name] {
+				continue // base package re-listed under a test variant
+			}
+			seenFile[name] = true
+			wants = append(wants, collectWants(t, prog, f)...)
+		}
+	}
+
+	findings, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for i := range findings {
+		fd := &findings[i]
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == fd.Pos.Filename && w.line == fd.Pos.Line && w.re.MatchString(fd.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", fd)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants extracts // want expectations from one file. The patterns
+// are Go string literals (quoted or backquoted) following the word want;
+// several patterns on one line all anchor to that line.
+func collectWants(t *testing.T, prog *analysis.Program, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := prog.Fset.Position(c.Pos())
+			for _, lit := range strRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: lit})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package ctxthread pins context threading through the blocking call
+// graph. Every exported blocking entry point whose cancellation mode is
+// the default (cancel=ctx) must accept a context.Context, and no caller
+// that has a context may call a blocking callee with a fresh
+// context.Background() / context.TODO() — that silently detaches the
+// callee from the caller's deadline and cancellation, exactly the class
+// of bug the serving tier's deadline plumbing (waiter deadlines vs leader
+// detach via context.WithoutCancel) exists to prevent.
+//
+// Blocking functions with other cancellation mechanisms declare them:
+// cancel=interrupt (sat.Solver.Solve is canceled by Interrupt, not ctx)
+// and cancel=none (Session.Extend is non-interruptible skeleton surgery).
+package ctxthread
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis"
+)
+
+// Analyzer enforces context.Context parameters on ctx-cancelable blocking
+// entry points and flags context.Background()/TODO() passed to blocking
+// callees by functions that have a context of their own.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxthread",
+	Doc:  "exported goarxivlint:blocking entry points (cancel=ctx) must take a context.Context; callers with a context must not hand blocking callees a fresh Background/TODO",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				obj, _ := pass.TypesInfo.Defs[n.Name].(*types.Func)
+				if obj == nil {
+					return true
+				}
+				checkSignature(pass, obj, n.Name)
+				if n.Body != nil {
+					checkBody(pass, obj, n.Body)
+				}
+				return false
+			case *ast.InterfaceType:
+				for _, m := range n.Methods.List {
+					if len(m.Names) == 0 {
+						continue
+					}
+					if obj, ok := pass.TypesInfo.Defs[m.Names[0]].(*types.Func); ok {
+						checkSignature(pass, obj, m.Names[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSignature enforces the entry-point rule: exported, blocking,
+// default cancel mode => first parameter is a context.Context.
+func checkSignature(pass *analysis.Pass, obj *types.Func, name *ast.Ident) {
+	dir, ok := pass.Dirs.FuncDirective(obj, "blocking")
+	if !ok || !obj.Exported() || dir.Arg("cancel", "ctx") != "ctx" {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() == 0 || !isContext(params.At(0).Type()) {
+		pass.Reportf(name.Pos(),
+			"exported blocking %s must take a context.Context first parameter (or declare goarxivlint:blocking cancel=interrupt|none)",
+			name.Name)
+	}
+}
+
+// checkBody flags blocking calls that discard an available context by
+// passing a fresh context.Background() or context.TODO(). Function
+// literals are included: a closure inside a function with a context (the
+// singleflight leader pattern) is still on that request's call path.
+func checkBody(pass *analysis.Pass, obj *types.Func, body *ast.BlockStmt) {
+	if !hasContextParam(obj.Type().(*types.Signature)) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return true
+		}
+		if _, blocking := pass.Dirs.FuncDirective(callee, "blocking"); !blocking {
+			return true
+		}
+		for _, arg := range call.Args {
+			if name := freshContextCall(pass, arg); name != "" {
+				pass.Reportf(arg.Pos(),
+					"blocking call to %s drops the caller's context (context.%s()); pass or derive from the caller's ctx",
+					callee.Name(), name)
+			}
+		}
+		return true
+	})
+}
+
+// freshContextCall reports whether e is a direct context.Background() or
+// context.TODO() call, returning the function name if so.
+func freshContextCall(pass *analysis.Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	f := calleeFunc(pass, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" {
+		return ""
+	}
+	if f.Name() == "Background" || f.Name() == "TODO" {
+		return f.Name()
+	}
+	return ""
+}
+
+func hasContextParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContext(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package ctxthread_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/analysistest"
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/ctxthread"
+)
+
+func TestCtxThread(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "ctxentry"), ctxthread.Analyzer)
+}

@@ -1,0 +1,58 @@
+// Package ctxentry reconstructs the ctx-less blocking entry point: a
+// public solve API that cannot be canceled because it never accepts a
+// context, and a serving path that silently detaches a blocking callee
+// from its request deadline with a fresh Background context.
+package ctxentry
+
+import "context"
+
+// Solve is the bug shape: an exported blocking entry with no context.
+//
+// goarxivlint:blocking
+func Solve(roots []string) error { // want `exported blocking Solve must take a context.Context first parameter`
+	return SolveCtx(context.Background(), roots)
+}
+
+// SolveCtx threads the context: fine.
+//
+// goarxivlint:blocking
+func SolveCtx(ctx context.Context, roots []string) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// SolveInterrupt is the annotated escape: cancellation happens through an
+// out-of-band interrupt (the sat.Solver.Interrupt pattern), declared in
+// the directive instead of the signature.
+//
+// goarxivlint:blocking cancel=interrupt
+func SolveInterrupt(roots []string) error {
+	return nil
+}
+
+// Handler is a blocking interface entry point; signature rules apply to
+// interface method declarations too.
+type Handler interface {
+	// goarxivlint:blocking
+	Handle(name string) error // want `exported blocking Handle must take a context.Context first parameter`
+}
+
+// Serve has a deadline-carrying context but hands its blocking callee a
+// fresh one — waiters would never see their deadlines honored.
+//
+// goarxivlint:blocking
+func Serve(ctx context.Context, roots []string) error {
+	return SolveCtx(context.Background(), roots) // want `blocking call to SolveCtx drops the caller's context \(context.Background\(\)\)`
+}
+
+// ServeDerived detaches deliberately but keeps values, the singleflight
+// leader pattern: deriving from the caller's ctx is fine.
+//
+// goarxivlint:blocking
+func ServeDerived(ctx context.Context, roots []string) error {
+	return SolveCtx(context.WithoutCancel(ctx), roots)
+}

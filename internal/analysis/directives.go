@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive is one parsed `// goarxivlint:<verb> [k=v ...]` annotation.
+// The vocabulary (documented in internal/analysis/README.md):
+//
+//	goarxivlint:lock              on a mutex struct field: a long-hold lock
+//	goarxivlint:blocking [cancel=ctx|interrupt|none]
+//	                              on a func/method: may block for a long time
+//	goarxivlint:lockfree          on a method: must not acquire annotated locks;
+//	                              on a field: must be a sync/atomic type
+//	goarxivlint:owned [reason...] on a slice/map-returning func: ownership
+//	                              contract documented, silences slicereturn
+type Directive struct {
+	Verb string
+	Args map[string]string
+	Pos  token.Pos
+}
+
+// Arg returns the value of key, or def if the directive does not set it.
+func (d Directive) Arg(key, def string) string {
+	if v, ok := d.Args[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Directives indexes every goarxivlint annotation in a Program by the
+// typechecked object it is attached to. Because base packages and their
+// test variants are typechecked separately (distinct object identities),
+// the index covers both; lookups work from any importing package.
+type Directives struct {
+	funcs  map[*types.Func][]Directive
+	fields map[*types.Var][]Directive
+}
+
+// Func returns the directives attached to a function or method
+// declaration (including interface method declarations).
+//
+// goarxivlint:owned borrowed view of the index; callers must not mutate
+func (d *Directives) Func(obj *types.Func) []Directive {
+	if obj == nil {
+		return nil
+	}
+	return d.funcs[obj]
+}
+
+// Field returns the directives attached to a struct field declaration.
+//
+// goarxivlint:owned borrowed view of the index; callers must not mutate
+func (d *Directives) Field(obj *types.Var) []Directive {
+	if obj == nil {
+		return nil
+	}
+	return d.fields[obj]
+}
+
+// FuncDirective returns the first directive with the given verb on obj.
+func (d *Directives) FuncDirective(obj *types.Func, verb string) (Directive, bool) {
+	for _, dir := range d.Func(obj) {
+		if dir.Verb == verb {
+			return dir, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FieldDirective returns the first directive with the given verb on obj.
+func (d *Directives) FieldDirective(obj *types.Var, verb string) (Directive, bool) {
+	for _, dir := range d.Field(obj) {
+		if dir.Verb == verb {
+			return dir, true
+		}
+	}
+	return Directive{}, false
+}
+
+// parseDirectives extracts goarxivlint directives from a comment group.
+// Both "//goarxivlint:verb" and "// goarxivlint:verb" spellings are
+// accepted; arguments are space-separated key=value pairs (a bare word is
+// recorded with an empty value, usable as free-text rationale).
+func parseDirectives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "goarxivlint:") {
+			continue
+		}
+		rest := strings.TrimPrefix(text, "goarxivlint:")
+		parts := strings.Fields(rest)
+		if len(parts) == 0 {
+			continue
+		}
+		d := Directive{Verb: parts[0], Pos: c.Pos()}
+		if len(parts) > 1 {
+			d.Args = make(map[string]string, len(parts)-1)
+			for _, p := range parts[1:] {
+				if k, v, ok := strings.Cut(p, "="); ok {
+					d.Args[k] = v
+				} else {
+					d.Args[p] = ""
+				}
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// BuildDirectives walks every non-stdlib package of prog and indexes
+// goarxivlint annotations on function declarations, interface method
+// declarations, and struct fields.
+func BuildDirectives(prog *Program) *Directives {
+	d := &Directives{
+		funcs:  make(map[*types.Func][]Directive),
+		fields: make(map[*types.Var][]Directive),
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Standard || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if dirs := parseDirectives(n.Doc); len(dirs) > 0 {
+						if obj, ok := pkg.Info.Defs[n.Name].(*types.Func); ok {
+							d.funcs[obj] = append(d.funcs[obj], dirs...)
+						}
+					}
+				case *ast.StructType:
+					for _, field := range n.Fields.List {
+						dirs := parseDirectives(field.Doc)
+						dirs = append(dirs, parseDirectives(field.Comment)...)
+						if len(dirs) == 0 {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+								d.fields[obj] = append(d.fields[obj], dirs...)
+							}
+						}
+					}
+				case *ast.InterfaceType:
+					for _, m := range n.Methods.List {
+						dirs := parseDirectives(m.Doc)
+						dirs = append(dirs, parseDirectives(m.Comment)...)
+						if len(dirs) == 0 || len(m.Names) == 0 {
+							continue
+						}
+						if obj, ok := pkg.Info.Defs[m.Names[0]].(*types.Func); ok {
+							d.funcs[obj] = append(d.funcs[obj], dirs...)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return d
+}

@@ -1,0 +1,13 @@
+package errtaxonomy_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/analysistest"
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/errtaxonomy"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "senterr"), errtaxonomy.Analyzer)
+}

@@ -1,0 +1,20 @@
+// Package senterr reconstructs the resolve/concretize error taxonomy:
+// a sentinel, a wrapping error type with an Is method, and the legal
+// same-package identity comparison inside that Is method.
+package senterr
+
+import "errors"
+
+// ErrUnsat is the sentinel for definitive unsatisfiability.
+var ErrUnsat = errors.New("unsatisfiable")
+
+// UnsatError wraps ErrUnsat with the conflicting roots.
+type UnsatError struct {
+	Roots []string
+}
+
+func (e *UnsatError) Error() string { return "unsatisfiable" }
+
+// Is makes errors.Is(err, ErrUnsat) work; the identity comparison is in
+// the defining package, the designed escape from the errtaxonomy rule.
+func (e *UnsatError) Is(target error) bool { return target == ErrUnsat }

@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and typechecked package.
+type Package struct {
+	// ImportPath is the go list identity, including test-variant suffixes
+	// such as "p [p.test]" for a package rebuilt with its _test.go files.
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Standard   bool // part of the Go standard library
+	DepOnly    bool // reached only as a dependency of the patterns
+	ForTest    string
+	// TypeErrors holds typechecking problems. Standard-library errors are
+	// tolerated (source typechecking of runtime internals is best-effort);
+	// errors in module packages make Load fail.
+	TypeErrors []error
+}
+
+// Program is a loaded set of packages in dependency order.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	ByPath   map[string]*Package
+}
+
+// Targets returns the packages named by the load patterns (module packages
+// and their test variants), the ones analyzers should visit. An in-package
+// test variant ("p [p.test]") contains every file of its base package plus
+// the _test.go files, so it supersedes the base to avoid visiting the
+// non-test files twice. External test packages ("p_test [p.test]") are
+// included; synthesized test mains are never loaded at all.
+func (p *Program) Targets() []*Package {
+	superseded := make(map[string]bool)
+	for _, pkg := range p.Packages {
+		if pkg.ForTest != "" && strings.HasPrefix(pkg.ImportPath, pkg.ForTest+" ") {
+			superseded[pkg.ForTest] = true
+		}
+	}
+	var out []*Package
+	for _, pkg := range p.Packages {
+		if pkg.Standard || pkg.DepOnly || superseded[pkg.ImportPath] {
+			continue
+		}
+		out = append(out, pkg)
+	}
+	return out
+}
+
+// listPkg mirrors the subset of `go list -json` fields the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	ForTest    string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -deps -test` in dir over the patterns, parses every
+// listed package from source, and typechecks the full closure (standard
+// library included — there is no export-data reader in the stdlib, and
+// hermetic builds cannot fetch golang.org/x/tools). CGO is disabled for
+// the listing so cgo packages resolve to their pure-Go fallbacks.
+//
+// Patterns may be wildcards ("./...") or explicit directories; explicit
+// paths reach packages under testdata/, which wildcards skip — that is how
+// analysistest loads fixtures.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-test",
+		"-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,ForTest,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var listed []*listPkg
+	byPath := make(map[string]*listPkg)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Name == "main" && strings.HasSuffix(lp.ImportPath, ".test") {
+			// Synthesized test-main package; its GoFiles are generated at
+			// build time and may not exist on disk.
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		listed = append(listed, lp)
+		byPath[lp.ImportPath] = lp
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		ByPath: make(map[string]*Package, len(listed)),
+	}
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+
+	// `go list -deps` emits dependencies before dependents, so a single
+	// in-order sweep typechecks imports before importers; the recursive
+	// ensure handles any stragglers defensively.
+	var ensure func(lp *listPkg) (*Package, error)
+	ensure = func(lp *listPkg) (*Package, error) {
+		if done, ok := prog.ByPath[lp.ImportPath]; ok {
+			return done, nil
+		}
+		pkg := &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Standard:   lp.Standard,
+			DepOnly:    lp.DepOnly,
+			ForTest:    lp.ForTest,
+		}
+		// Mark in-progress to break accidental cycles (go list output is
+		// acyclic, so hitting an in-progress entry is a loader bug).
+		prog.ByPath[lp.ImportPath] = pkg
+
+		if lp.ImportPath == "unsafe" {
+			pkg.Types = types.Unsafe
+			prog.Packages = append(prog.Packages, pkg)
+			return pkg, nil
+		}
+
+		for _, fname := range lp.GoFiles {
+			path := fname
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(lp.Dir, fname)
+			}
+			f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", path, err)
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+
+		imp := importerFunc(func(importPath string) (*types.Package, error) {
+			resolved := importPath
+			if mapped, ok := lp.ImportMap[importPath]; ok {
+				resolved = mapped
+			}
+			if resolved == "unsafe" {
+				return types.Unsafe, nil
+			}
+			dep := byPath[resolved]
+			if dep == nil {
+				return nil, fmt.Errorf("package %s (for %s) not in go list output", resolved, importPath)
+			}
+			depPkg, err := ensure(dep)
+			if err != nil {
+				return nil, err
+			}
+			return depPkg.Types, nil
+		})
+
+		cfg := &types.Config{
+			Importer: imp,
+			Sizes:    sizes,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		if !pkg.Standard {
+			pkg.Info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+			}
+		}
+		// Ignore Check's error return: cfg.Error collected everything and
+		// Check still produces a (possibly incomplete) package, which is
+		// what tolerant stdlib loading needs.
+		pkg.Types, _ = cfg.Check(lp.ImportPath, prog.Fset, pkg.Files, pkg.Info)
+		if !pkg.Standard && len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("typechecking %s: %v (+%d more)", lp.ImportPath, pkg.TypeErrors[0], len(pkg.TypeErrors)-1)
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		return pkg, nil
+	}
+
+	for _, lp := range listed {
+		if _, err := ensure(lp); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Finding is one diagnostic tagged with its analyzer and resolved position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every target package of prog and returns
+// the combined findings sorted by position. Directives are indexed once,
+// program-wide, before any analyzer runs.
+func Run(prog *Program, analyzers []*Analyzer) ([]Finding, error) {
+	dirs := BuildDirectives(prog)
+	var findings []Finding
+	for _, pkg := range prog.Targets() {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Dirs:      dirs,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Pos:      prog.Fset.Position(d.Pos),
+					Analyzer: name,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

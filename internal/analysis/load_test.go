@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadModule typechecks the entire module (plus its stdlib closure)
+// from source — the same load the lint gate performs — and sanity-checks
+// target selection and directive indexing.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module typecheck is slow")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	targets := prog.Targets()
+	if len(targets) == 0 {
+		t.Fatal("no target packages loaded")
+	}
+	seen := make(map[string]bool)
+	for _, pkg := range targets {
+		if pkg.Standard {
+			t.Errorf("standard package %s in targets", pkg.ImportPath)
+		}
+		base := pkg.ImportPath
+		if i := strings.IndexByte(base, ' '); i >= 0 {
+			base = base[:i]
+		}
+		if pkg.ForTest == "" && seen[base] {
+			t.Errorf("package %s visited more than once", base)
+		}
+		seen[base] = true
+	}
+	for _, want := range []string{
+		"github.com/paper-repo-growth/go-arxiv/internal/sat",
+		"github.com/paper-repo-growth/go-arxiv/internal/concretize",
+		"github.com/paper-repo-growth/go-arxiv/resolve",
+		"github.com/paper-repo-growth/go-arxiv/serve",
+	} {
+		if !seen[want] {
+			t.Errorf("expected target %s not loaded", want)
+		}
+	}
+	if dirs := BuildDirectives(prog); len(dirs.funcs) == 0 || len(dirs.fields) == 0 {
+		t.Errorf("directive index empty (funcs=%d fields=%d); annotations missing?",
+			len(dirs.funcs), len(dirs.fields))
+	}
+}

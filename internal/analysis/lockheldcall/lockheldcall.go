@@ -1,0 +1,252 @@
+// Package lockheldcall pins the lock taxonomy of the solver stack: which
+// locks are long-hold, which calls may block, and which paths must stay
+// lock-free. It is seeded from a real bug: Session.Epoch() once took the
+// session mutex — held for the duration of a solve — so the serving
+// tier's coalescing-key computation queued behind the leader solve and
+// coalescing never fired.
+//
+// Rules, driven by goarxivlint directives:
+//
+//	R1: a function that calls a goarxivlint:blocking callee while a
+//	    goarxivlint:lock mutex is held (Lock or RLock, including via
+//	    defer Unlock) must itself be annotated goarxivlint:blocking —
+//	    holding a long-hold lock across a blocking call is part of the
+//	    caller's contract and must be declared, not implicit.
+//	R2: a method annotated goarxivlint:lockfree must not acquire any
+//	    goarxivlint:lock mutex (the Epoch() bug class directly).
+//	R3: a field annotated goarxivlint:lockfree must have a sync/atomic
+//	    type — a plain field cannot be read safely without the lock.
+package lockheldcall
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis"
+)
+
+// Analyzer flags blocking calls under annotated locks, lock acquisition
+// on lock-free paths, and non-atomic lock-free fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheldcall",
+	Doc:  "check goarxivlint lock/blocking/lockfree annotations: no undeclared blocking calls under long-hold locks, no locks on lock-free paths, atomic types for lock-free fields",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFunc(pass, n)
+				return false // checkFunc walks the body itself
+			case *ast.StructType:
+				checkFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFields enforces R3 at the declaration site.
+func checkFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if _, ok := pass.Dirs.FieldDirective(obj, "lockfree"); !ok {
+				continue
+			}
+			if !isAtomicType(obj.Type()) {
+				pass.Reportf(name.Pos(),
+					"goarxivlint:lockfree field %s has non-atomic type %s; use a sync/atomic type",
+					name.Name, obj.Type())
+			}
+		}
+	}
+}
+
+// isAtomicType reports whether t is (a pointer to) a type from
+// sync/atomic, e.g. atomic.Uint64 or atomic.Pointer[T].
+func isAtomicType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// checkFunc walks one function body in source order tracking which
+// annotated locks are held, enforcing R1 and R2. The tracking is linear
+// (no control-flow join analysis): Lock/RLock adds, Unlock/RUnlock
+// removes, defer Unlock holds to function end — which matches how this
+// codebase actually uses its solve locks.
+func checkFunc(pass *analysis.Pass, decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	obj, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	_, callerBlocking := pass.Dirs.FuncDirective(obj, "blocking")
+	_, lockfree := pass.Dirs.FuncDirective(obj, "lockfree")
+
+	held := make(map[*types.Var]bool)
+	var funcLits []*ast.FuncLit
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lock, op := lockOp(pass, n.Call); lock != nil && op == opRelease {
+				// Deferred unlock: the lock stays held to function end.
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			// Closure bodies run later (goroutines, deferred funcs,
+			// singleflight leaders); analyze them without the current
+			// lock context instead of attributing held locks to them.
+			funcLits = append(funcLits, n)
+			return false
+		case *ast.CallExpr:
+			if lock, op := lockOp(pass, n); lock != nil {
+				switch op {
+				case opAcquire:
+					if lockfree {
+						pass.Reportf(n.Pos(),
+							"goarxivlint:lockfree function %s acquires annotated lock %s",
+							decl.Name.Name, lock.Name())
+					}
+					held[lock] = true
+				case opRelease:
+					delete(held, lock)
+				}
+				return true
+			}
+			if callee := calleeFunc(pass, n); callee != nil && !callerBlocking && len(held) > 0 {
+				if _, blocking := pass.Dirs.FuncDirective(callee, "blocking"); blocking {
+					pass.Reportf(n.Pos(),
+						"call to blocking %s while annotated lock is held; annotate %s goarxivlint:blocking or move the call outside the lock",
+						callee.Name(), decl.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+
+	// Closures inherit the enclosing function's blocking declaration (a
+	// blocking func's worker closure is part of its contract) but start
+	// with no locks held.
+	for _, lit := range funcLits {
+		checkFuncLit(pass, lit, callerBlocking)
+	}
+}
+
+func checkFuncLit(pass *analysis.Pass, lit *ast.FuncLit, callerBlocking bool) {
+	held := make(map[*types.Var]bool)
+	var nested []*ast.FuncLit
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lock, op := lockOp(pass, n.Call); lock != nil && op == opRelease {
+				return false
+			}
+			return true
+		case *ast.FuncLit:
+			nested = append(nested, n)
+			return false
+		case *ast.CallExpr:
+			if lock, op := lockOp(pass, n); lock != nil {
+				switch op {
+				case opAcquire:
+					held[lock] = true
+				case opRelease:
+					delete(held, lock)
+				}
+				return true
+			}
+			if callee := calleeFunc(pass, n); callee != nil && !callerBlocking && len(held) > 0 {
+				if _, blocking := pass.Dirs.FuncDirective(callee, "blocking"); blocking {
+					pass.Reportf(n.Pos(),
+						"call to blocking %s while annotated lock is held in func literal; move the call outside the lock",
+						callee.Name())
+				}
+			}
+		}
+		return true
+	})
+	for _, n := range nested {
+		checkFuncLit(pass, n, callerBlocking)
+	}
+}
+
+type lockOpKind int
+
+const (
+	opNone lockOpKind = iota
+	opAcquire
+	opRelease
+)
+
+// lockOp reports whether call is Lock/RLock/Unlock/RUnlock on a
+// goarxivlint:lock annotated mutex, and which operation it is.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (*types.Var, lockOpKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, opNone
+	}
+	var op lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opAcquire
+	case "Unlock", "RUnlock":
+		op = opRelease
+	default:
+		return nil, opNone
+	}
+	v := mutexVar(pass, sel.X)
+	if v == nil {
+		return nil, opNone
+	}
+	if _, ok := pass.Dirs.FieldDirective(v, "lock"); !ok {
+		return nil, opNone
+	}
+	return v, op
+}
+
+// mutexVar resolves the receiver expression of a lock call to the
+// variable it names: a struct field (s.mu, s.inner.mu) or a plain var.
+func mutexVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function or method object, if static.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

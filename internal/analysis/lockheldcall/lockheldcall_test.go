@@ -1,0 +1,13 @@
+package lockheldcall_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/analysistest"
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/lockheldcall"
+)
+
+func TestLockHeldCall(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "epochlock"), lockheldcall.Analyzer)
+}

@@ -1,0 +1,66 @@
+// Package epochlock reconstructs the PR 7 epoch-under-mutex bug: an
+// Epoch accessor that takes the long-hold solve mutex, serializing the
+// serving tier's coalescing-key computation behind in-flight solves.
+package epochlock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type session struct {
+	// goarxivlint:lock
+	mu sync.Mutex
+	// goarxivlint:lockfree
+	epoch uint64 // want `goarxivlint:lockfree field epoch has non-atomic type uint64`
+	// goarxivlint:lockfree
+	epochA atomic.Uint64 // atomic mirror: fine
+}
+
+// goarxivlint:blocking cancel=none
+func (s *session) solve() uint64 {
+	return s.epochA.Load()
+}
+
+// Epoch is the historical bug: annotated lock-free (the serving tier
+// computes coalescing keys through it) but grabs the solve mutex.
+//
+// goarxivlint:lockfree
+func (s *session) Epoch() uint64 {
+	s.mu.Lock() // want `goarxivlint:lockfree function Epoch acquires annotated lock mu`
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// EpochFast is the fix: read the atomic mirror, never touch the lock.
+//
+// goarxivlint:lockfree
+func (s *session) EpochFast() uint64 {
+	return s.epochA.Load()
+}
+
+// Resolve holds the solve mutex across a blocking solve without declaring
+// itself blocking — callers cannot see that it stalls the lock.
+func (s *session) Resolve() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solve() // want `call to blocking solve while annotated lock is held`
+}
+
+// ResolveDeclared is the annotated escape: it does exactly the same
+// thing, but its signature carries the blocking contract.
+//
+// goarxivlint:blocking cancel=none
+func (s *session) ResolveDeclared() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.solve()
+}
+
+// ResolveOutside releases before solving: no finding.
+func (s *session) ResolveOutside() uint64 {
+	s.mu.Lock()
+	s.epoch++
+	s.mu.Unlock()
+	return s.solve()
+}

@@ -1,0 +1,176 @@
+// Package slicereturn pins the ownership contract on returned slices and
+// maps. It is seeded from a real contract in the serving tier: coalesced
+// followers share one leader Result, so Result.Picks must be a fresh copy
+// per waiter (serve.copyResult) — an exported accessor quietly returning
+// an internal map or slice hands callers a mutable alias into shared
+// state.
+//
+// An exported function or method whose return value is a slice or map
+// aliasing a field reached through the receiver or a parameter (directly,
+// through a map/slice index, or via a trivially-assigned local) is
+// flagged unless its declaration carries goarxivlint:owned — the escape
+// hatch for accessors whose doc comment spells out the borrowed-view
+// contract (e.g. repo.Package.Versions: "owned by the package; callers
+// must not mutate").
+package slicereturn
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis"
+)
+
+// Analyzer flags exported functions returning aliases of internal
+// slice/map state without a copy or an ownership annotation.
+var Analyzer = &analysis.Analyzer{
+	Name: "slicereturn",
+	Doc:  "flag exported functions returning a slice/map aliasing receiver or parameter fields without a copy; goarxivlint:owned documents intentional borrowed views",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			if _, owned := pass.Dirs.FuncDirective(obj, "owned"); owned {
+				continue
+			}
+			checkFunc(pass, fd, obj)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, obj *types.Func) {
+	sig := obj.Type().(*types.Signature)
+	results := sig.Results()
+	aliasable := false
+	for i := 0; i < results.Len(); i++ {
+		if isSliceOrMap(results.At(i).Type()) {
+			aliasable = true
+		}
+	}
+	if !aliasable {
+		return
+	}
+
+	// Roots: the receiver and every parameter. Returning a bare parameter
+	// is fine (the caller handed it in); returning a *field of* one leaks
+	// internal state.
+	roots := make(map[types.Object]bool)
+	if recv := sig.Recv(); recv != nil {
+		roots[recv] = true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		roots[sig.Params().At(i)] = true
+	}
+
+	// One linear pass marking locals trivially assigned from an aliasing
+	// expression (v := s.field, v, ok := u.m[k], v := s.field[a:b]).
+	tainted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var rhs ast.Expr
+			switch {
+			case len(assign.Rhs) == len(assign.Lhs):
+				rhs = assign.Rhs[i]
+			case len(assign.Rhs) == 1 && i == 0:
+				rhs = assign.Rhs[0] // v, ok := m[k]
+			}
+			if rhs == nil || !aliases(pass, rhs, roots, tainted) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				tainted[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are not this function's return path
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			tv, ok := pass.TypesInfo.Types[res]
+			if !ok || !isSliceOrMap(tv.Type) {
+				continue
+			}
+			if aliases(pass, res, roots, tainted) {
+				pass.Reportf(res.Pos(),
+					"exported %s returns a slice/map aliasing internal state; return a copy or annotate the declaration goarxivlint:owned",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// aliases reports whether e reaches internal state through a root: a
+// field selection rooted at a receiver/parameter, an index or reslice of
+// such a selection, or a local already marked as aliasing.
+func aliases(pass *analysis.Pass, e ast.Expr, roots, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && tainted[obj]
+	case *ast.SelectorExpr:
+		sel := pass.TypesInfo.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return false
+		}
+		return rootedAt(pass, e.X, roots, tainted)
+	case *ast.IndexExpr:
+		return aliases(pass, e.X, roots, tainted)
+	case *ast.SliceExpr:
+		return aliases(pass, e.X, roots, tainted)
+	}
+	return false
+}
+
+// rootedAt reports whether the selector base expression bottoms out at a
+// receiver/parameter object or an aliasing local.
+func rootedAt(pass *analysis.Pass, e ast.Expr, roots, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && (roots[obj] || tainted[obj])
+	case *ast.SelectorExpr:
+		return rootedAt(pass, e.X, roots, tainted)
+	case *ast.IndexExpr:
+		return rootedAt(pass, e.X, roots, tainted)
+	case *ast.StarExpr:
+		return rootedAt(pass, e.X, roots, tainted)
+	}
+	return false
+}
+
+func isSliceOrMap(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

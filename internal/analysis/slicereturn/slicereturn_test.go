@@ -1,0 +1,13 @@
+package slicereturn_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/analysistest"
+	"github.com/paper-repo-growth/go-arxiv/internal/analysis/slicereturn"
+)
+
+func TestSliceReturn(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "picks"), slicereturn.Analyzer)
+}

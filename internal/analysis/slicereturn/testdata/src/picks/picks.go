@@ -1,0 +1,51 @@
+// Package picks reconstructs the coalesced-Picks ownership bug: a result
+// cache whose accessors hand out the cached map itself, so one waiter
+// mutating its "own" result corrupts every other waiter sharing the
+// leader's solve.
+package picks
+
+type cache struct {
+	last map[string]string
+	hist []string
+}
+
+// Last is the bug shape: the cached map escapes by reference.
+func (c *cache) Last() map[string]string {
+	return c.last // want `exported Last returns a slice/map aliasing internal state`
+}
+
+// History aliases through a trivially-assigned local.
+func (c *cache) History() []string {
+	h := c.hist
+	return h // want `exported History returns a slice/map aliasing internal state`
+}
+
+// Recent aliases through a reslice — still the same backing array.
+func (c *cache) Recent(n int) []string {
+	return c.hist[:n] // want `exported Recent returns a slice/map aliasing internal state`
+}
+
+// LastView is the annotated escape: a deliberate borrowed view whose
+// contract is documented at the declaration.
+//
+// goarxivlint:owned read-only view; callers must not mutate
+func (c *cache) LastView() map[string]string {
+	return c.last
+}
+
+// LastCopy is the fix: a fresh map per caller (serve.copyResult's shape).
+func (c *cache) LastCopy() map[string]string {
+	out := make(map[string]string, len(c.last))
+	for k, v := range c.last {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge returns one of its own arguments: the caller already owns it.
+func Merge(dst map[string]string, src map[string]string) map[string]string {
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}

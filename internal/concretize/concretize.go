@@ -527,7 +527,11 @@ func verify(u *repo.Universe, roots []Root, picks map[string]version.Version) er
 // tracks the request rather than the catalog), meaning there is exactly
 // one encoder and the warm and cold paths cannot drift apart. Callers
 // answering a stream of requests over the same universe should hold a
-// Session — or, at the serving tier, a resolve.Resolver — instead.
+// Session — or, at the serving tier, a resolve.Resolver — instead; that
+// is also the context-aware path (Session.Resolve), while this wrapper's
+// only bound is the opts.MaxConflicts budget.
+//
+// goarxivlint:blocking cancel=none
 func Concretize(u *repo.Universe, roots []Root, opts Options) (*Resolution, error) {
 	if len(roots) == 0 {
 		return &Resolution{Picks: map[string]version.Version{}, Stats: Stats{Optimal: true}}, nil

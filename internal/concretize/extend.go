@@ -35,6 +35,8 @@ import (
 // the session lock); a resolver layer that needs "no request observes a
 // half-applied broadcast" adds its own barrier (resolve.PortfolioResolver
 // does).
+//
+// goarxivlint:blocking cancel=none
 func (se *Session) Extend(d *repo.Delta) (repo.Epoch, error) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
@@ -60,6 +62,8 @@ func (se *Session) Extend(d *repo.Delta) (repo.Epoch, error) {
 
 // extendLocked performs the in-place skeleton extension for a delta the
 // universe has already absorbed. Callers hold se.mu.
+//
+// goarxivlint:blocking cancel=none
 func (se *Session) extendLocked(d *repo.Delta) {
 	s := se.solver
 

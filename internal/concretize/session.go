@@ -78,10 +78,14 @@ type Session struct {
 	// coalescing on Epoch(), and an Epoch() that waited on mu would
 	// serialize behind in-flight solves — exactly the requests coalescing
 	// exists to collapse. Written under mu, read without.
+	//
+	// goarxivlint:lockfree
 	epochA atomic.Uint64
 
 	// mu serializes all solver access (the encoding, activation literals,
 	// and the branch-and-bound loop all mutate solver state).
+	//
+	// goarxivlint:lock
 	mu      sync.Mutex
 	solver  *sat.Solver
 	vars    map[string]*pkgVars
@@ -245,6 +249,8 @@ func (se *Session) Fingerprint() string {
 // reflects. It never blocks — in particular not on an in-flight solve —
 // so serving tiers can read it on every request to qualify coalescing
 // keys.
+//
+// goarxivlint:lockfree
 func (se *Session) Epoch() repo.Epoch {
 	return repo.Epoch(se.epochA.Load())
 }
@@ -633,6 +639,8 @@ func shapeKey(obj Objective, parts []string) string {
 // returns an error matching ctx's cause (context.Canceled or
 // context.DeadlineExceeded). A canceled request never poisons the Session:
 // solver state stays consistent and the next Resolve proceeds normally.
+//
+// goarxivlint:blocking
 func (se *Session) Resolve(ctx context.Context, roots []Root, opts Options) (*Resolution, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -674,6 +682,8 @@ func (se *Session) Resolve(ctx context.Context, roots []Root, opts Options) (*Re
 }
 
 // solveLocked runs branch-and-bound for one request. Callers hold se.mu.
+//
+// goarxivlint:blocking
 func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string, shapeKey string, obj Objective, opts Options) (*Resolution, error) {
 	// The bound memo remembers, per request shape, everything a repeat
 	// solve can reuse: the reachability order, the lowered objective

@@ -80,6 +80,8 @@ func (d *Delta) Len() int { return len(d.adds) }
 // order). The canonical order makes the chained fingerprint — and every
 // skeleton-extension artifact derived from the delta — independent of the
 // order Add was called in. The slice is owned by the delta.
+//
+// goarxivlint:owned owned by the delta; callers must not mutate
 func (d *Delta) Adds() []VersionAdd {
 	sort.SliceStable(d.adds, func(i, j int) bool {
 		if d.adds[i].Pkg != d.adds[j].Pkg {

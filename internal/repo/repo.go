@@ -164,6 +164,8 @@ type Package struct {
 
 // Versions returns the package's version definitions ordered newest first.
 // The returned slice is owned by the package; callers must not mutate it.
+//
+// goarxivlint:owned borrowed view; callers must not mutate
 func (p *Package) Versions() []VersionDef { return p.versions }
 
 // NumVersions returns the number of available versions.
@@ -332,6 +334,8 @@ func (u *Universe) IsVirtual(name string) bool {
 
 // Virtual returns the providers of a virtual name in canonical order. The
 // returned slice is owned by the universe; callers must not mutate it.
+//
+// goarxivlint:owned borrowed view; callers must not mutate
 func (u *Universe) Virtual(name string) ([]Provider, bool) {
 	provs, ok := u.virtuals[name]
 	return provs, ok
@@ -405,6 +409,8 @@ func (u *Universe) TargetPackages(name string) []string {
 
 // Names returns all package names in sorted order. The slice is memoized
 // (rebuilt after Add) and shared: callers must not mutate it.
+//
+// goarxivlint:owned memoized shared slice; callers must not mutate
 func (u *Universe) Names() []string {
 	if cached := u.names.Load(); cached != nil {
 		return *cached

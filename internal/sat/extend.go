@@ -123,6 +123,7 @@ func (s *Solver) DetachClause(r ClauseRef) {
 		s.clauses = keep
 		s.detached = 0
 	}
+	s.checkInvariants("DetachClause")
 }
 
 // RemovePB retracts a live PB constraint by handle: it is detached from
@@ -143,6 +144,7 @@ func (s *Solver) RemovePB(ref PBRef) {
 		return
 	}
 	s.removePB(pi)
+	s.checkInvariants("RemovePB")
 }
 
 // ForgetLearnts drops the entire learnt-clause database and rebuilds the
@@ -199,6 +201,7 @@ func (s *Solver) ForgetLearnts() {
 	if s.propagate() != nil {
 		s.ok = false
 	}
+	s.checkInvariants("ForgetLearnts")
 }
 
 // FixedFalse reports whether the literal is permanently falsified:

@@ -1,0 +1,16 @@
+//go:build !satcheck
+
+package sat
+
+// satCheckEnabled reports whether this binary carries the checked solver
+// build (the satcheck build tag).
+const satCheckEnabled = false
+
+// checkInvariants is the checked-build audit hook; without the satcheck
+// build tag it is an empty function and the call sites compile away.
+func (s *Solver) checkInvariants(string) {}
+
+// CheckInvariants audits the solver's internal state under the satcheck
+// build tag (see invariants.go). Without the tag the audit is not compiled
+// in and the result is always nil.
+func (s *Solver) CheckInvariants() error { return nil }

@@ -169,6 +169,7 @@ func (s *Solver) TightenPB(ref PBRef, newK int64) bool {
 		s.ok = false
 		return false
 	}
+	s.checkInvariants("TightenPB")
 	return true
 }
 
@@ -214,7 +215,9 @@ func (s *Solver) RetireGuard(guard Lit) bool {
 	if !s.ok {
 		return false
 	}
-	return s.AddClause(guard.Neg())
+	ok := s.AddClause(guard.Neg())
+	s.checkInvariants("RetireGuard")
+	return ok
 }
 
 // removePB detaches PB constraint pi from all occurrence lists, clears any

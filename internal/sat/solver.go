@@ -545,6 +545,8 @@ func luby(i int64) int64 {
 // result means unsatisfiable under these assumptions, not necessarily
 // globally. On Sat, the model is retrievable via ValueOf until the next
 // solve or constraint addition.
+//
+// goarxivlint:blocking cancel=interrupt
 func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 	return s.Solve(assumptions...)
 }
@@ -554,7 +556,19 @@ func (s *Solver) SolveAssuming(assumptions []Lit) Status {
 // returns Unknown when the MaxConflicts budget is exhausted and Canceled
 // when Interrupt stopped the search; both leave the solver consistent and
 // reusable.
+//
+// goarxivlint:blocking cancel=interrupt
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.checkInvariants("solve entry")
+	st := s.solve(assumptions)
+	s.checkInvariants("solve exit")
+	return st
+}
+
+// solve is the search loop behind Solve. Every return path backtracks to
+// decision level 0 (or freezes the solver with ok=false), which is what
+// lets the satcheck boundary audits in Solve assume a quiesced state.
+func (s *Solver) solve(assumptions []Lit) Status {
 	if !s.ok {
 		return Unsat
 	}

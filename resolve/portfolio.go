@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
@@ -84,8 +85,20 @@ type PortfolioResolver struct {
 	// mu quiesces the portfolio around Apply: Resolve holds it shared (the
 	// members' own session locks serialize actual solving), Apply holds it
 	// exclusively while broadcasting the delta across members.
+	//
+	// goarxivlint:lock
 	mu      sync.RWMutex
 	members []portfolioMember
+
+	// epochA mirrors the shared universe's epoch for lock-free reads.
+	// Epoch() must not touch mu: Apply holds it exclusively for the whole
+	// broadcast (one Extend per member), and the serving tier computes
+	// coalescing keys from Epoch() on every request — reading it through
+	// the barrier would queue every arrival behind an in-flight delta,
+	// the same serialization bug Session.Epoch() once had.
+	//
+	// goarxivlint:lockfree
+	epochA atomic.Uint64
 
 	// testExtendHook, when set, injects a fault before a member's Extend
 	// during Apply (test-only: the real later-member failure modes require
@@ -123,6 +136,7 @@ func NewPortfolioResolver(u *repo.Universe, configs ...BackendConfig) (*Portfoli
 			se:   concretize.NewSession(u, c.Options),
 		})
 	}
+	p.epochA.Store(uint64(u.Epoch()))
 	return p, nil
 }
 
@@ -141,6 +155,8 @@ func NewPortfolioResolver(u *repo.Universe, configs ...BackendConfig) (*Portfoli
 // quarantined member; the returned epoch is the universe's new epoch,
 // which every still-healthy member serves at. A portfolio whose members
 // are all quarantined fail-stops: Resolve returns ErrNoActiveMembers.
+//
+// goarxivlint:blocking cancel=none
 func (p *PortfolioResolver) Apply(d *Delta) (Epoch, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -150,6 +166,7 @@ func (p *PortfolioResolver) Apply(d *Delta) (Epoch, error) {
 	if err != nil {
 		return p.u.Epoch(), err
 	}
+	p.epochA.Store(uint64(epoch))
 	// Broadcast: every healthy member extends its skeleton to the already
 	// -applied delta (the sibling case of the Session.Extend epoch
 	// contract). A failure quarantines the member; the loop continues so
@@ -202,11 +219,13 @@ func (p *PortfolioResolver) Health() []MemberHealth {
 }
 
 // Epoch returns the epoch of the shared universe, which every healthy
-// member serves at (the write barrier keeps them in lockstep).
+// member serves at (the write barrier keeps them in lockstep). It reads
+// the atomic mirror, never mu: the serving tier calls Epoch() per request
+// to key coalescing, and must not queue behind an Apply broadcast.
+//
+// goarxivlint:lockfree
 func (p *PortfolioResolver) Epoch() Epoch {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.u.Epoch()
+	return Epoch(p.epochA.Load())
 }
 
 // outcome is one member's answer to one request.
@@ -235,6 +254,8 @@ func (o outcome) definitive() bool {
 // a member — a definitive unsatisfiability proof included — is wrapped in
 // a *MemberError carrying the member's name and epoch, mirroring the
 // attribution (Result.Config, Result.Stats) the success path carries.
+//
+// goarxivlint:blocking
 func (p *PortfolioResolver) Resolve(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -180,6 +180,9 @@ type Result struct {
 // concurrent use and honor ctx cancellation and deadlines promptly
 // without poisoning internal state.
 type Resolver interface {
+	// Resolve blocks for up to a full solve; cancel through ctx.
+	//
+	// goarxivlint:blocking
 	Resolve(ctx context.Context, req Request) (*Result, error)
 }
 
@@ -208,11 +211,15 @@ func NewSessionResolver(u *repo.Universe, opts SessionOptions) *SessionResolver 
 // nothing is mutated. Apply serializes against in-flight Resolves on the
 // session lock, so a racing request observes the universe either wholly
 // before or wholly after the delta, never in between.
+//
+// goarxivlint:blocking cancel=none
 func (r *SessionResolver) Apply(d *Delta) (Epoch, error) {
 	return r.se.Extend(d)
 }
 
 // Resolve implements Resolver.
+//
+// goarxivlint:blocking
 func (r *SessionResolver) Resolve(ctx context.Context, req Request) (*Result, error) {
 	res, err := r.se.Resolve(ctx, req.Roots, concretize.Options{
 		MaxConflicts: req.MaxConflicts,

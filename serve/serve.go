@@ -53,7 +53,10 @@ import (
 // (SessionResolver, PortfolioResolver) implement it.
 type Backend interface {
 	resolve.Resolver
-	// Apply grows the backend's universe by one delta.
+	// Apply grows the backend's universe by one delta; it may block on the
+	// write barrier for the duration of an in-flight broadcast.
+	//
+	// goarxivlint:blocking cancel=none
 	Apply(*resolve.Delta) (resolve.Epoch, error)
 	// Epoch is the universe epoch the backend currently serves at; it
 	// qualifies the coalescing key.
