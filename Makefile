@@ -1,12 +1,13 @@
 GO ?= go
 BENCHTIME ?= 0.3s
-PR ?= pr7
-PREV_PR ?= pr6
+PR ?= pr9
+PREV_PR ?= pr8
 BENCH_JSON ?= BENCH_$(PR).json
 # The perf-trajectory suite: cold concretization, warm Session paths, the
-# portfolio, and the HTTP daemon pipeline. `make bench` runs it and records
-# the numbers in $(BENCH_JSON) so performance is tracked across PRs.
-BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver|BenchmarkSessionChurn|BenchmarkSessionExtend|BenchmarkDaemon
+# portfolio, the HTTP daemon pipeline, and the registry-scale lazy suite
+# (which also reports solver_vars and heap_bytes). `make bench` runs it and
+# records the numbers in $(BENCH_JSON) so performance is tracked across PRs.
+BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver|BenchmarkSessionChurn|BenchmarkSessionExtend|BenchmarkDaemon|BenchmarkRegistry
 
 .PHONY: all build vet fmt lint satcheck test race bench benchdiff fuzz-smoke serve-smoke
 

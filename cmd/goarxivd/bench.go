@@ -24,7 +24,9 @@ func runBench(args []string) error {
 	family := fs.String("family", "dense", "synthetic universe family")
 	pkgs := fs.Int("pkgs", 40, "family size")
 	vers := fs.Int("vers", 8, "versions per package")
-	backend := fs.String("backend", "session", "resolver backend (session|portfolio)")
+	backend := fs.String("backend", "session", "resolver backend (session|portfolio|pool)")
+	lazy := fs.Bool("lazy", false, "materialize clauses on first reach (registry-scale)")
+	shards := fs.Int("shards", 0, "pool backend width (0: GOMAXPROCS capped at 8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -33,7 +35,7 @@ func runBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	b, err := buildBackend(*backend, u)
+	b, err := buildBackend(*backend, u, *lazy, *shards)
 	if err != nil {
 		return err
 	}

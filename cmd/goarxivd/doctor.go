@@ -35,13 +35,15 @@ func runDoctor(args []string) error {
 		fmt.Printf("ok    %s\n", name)
 	}
 
-	for _, family := range []string{"dense", "diamond", "chain", "virtual", "conditional"} {
-		for _, backend := range []string{"session", "portfolio"} {
+	for _, family := range []string{"dense", "diamond", "chain", "virtual", "conditional", "registry"} {
+		for _, backend := range []string{"session", "portfolio", "pool"} {
 			check(family+"/"+backend, checkResolve(family, backend))
 		}
 	}
 	check("daemon/http-roundtrip", checkDaemon())
 	check("daemon/coalescing", checkCoalescing())
+	check("lazy/coverage", checkLazyCoverage())
+	check("pool/routing", checkPoolRouting())
 
 	if failures > 0 {
 		return fmt.Errorf("%d check(s) failed", failures)
@@ -57,7 +59,7 @@ func checkResolve(family, backend string) error {
 	if err != nil {
 		return err
 	}
-	b, err := buildBackend(backend, u)
+	b, err := buildBackend(backend, u, false, 0)
 	if err != nil {
 		return err
 	}
@@ -83,9 +85,90 @@ func checkResolve(family, backend string) error {
 
 // checkDaemon runs a resolve -> apply -> resolve -> stats cycle over the
 // real HTTP surface.
+// checkLazyCoverage serves a registry-family universe through a lazy
+// session and demands (a) the answer is optimal, (b) the solver carries
+// only the reached subgraph — the encoder counters /v1/stats exposes must
+// show materialized packages strictly below the universe size.
+func checkLazyCoverage() error {
+	u, root, _ := buildUniverse("registry", 2000, 12)
+	b, _ := buildBackend("session", u, true, 0)
+	ts := httptest.NewServer(serve.New(b, serve.Options{}))
+	defer ts.Close()
+
+	var rr serve.ResolveResponse
+	if err := postJSON(ts.URL+"/v1/resolve", serve.ResolveRequest{Roots: []string{root}}, &rr); err != nil {
+		return err
+	}
+	if !rr.Optimal || len(rr.Picks) == 0 {
+		return fmt.Errorf("resolve: %d picks, optimal=%v", len(rr.Picks), rr.Optimal)
+	}
+	var st serve.ServerStats
+	if err := getJSON(ts.URL+"/v1/stats", &st); err != nil {
+		return err
+	}
+	enc := st.Encoding
+	switch {
+	case enc == nil:
+		return fmt.Errorf("stats: no encoding counters from session backend")
+	case !enc.Lazy:
+		return fmt.Errorf("stats: backend not lazy")
+	case enc.UniversePackages != 2000:
+		return fmt.Errorf("stats: universe %d packages, want 2000", enc.UniversePackages)
+	case enc.MaterializedPackages == 0 || enc.MaterializedPackages >= enc.UniversePackages/2:
+		return fmt.Errorf("stats: materialized %d of %d packages — not lazy enough",
+			enc.MaterializedPackages, enc.UniversePackages)
+	case enc.SolverVars == 0:
+		return fmt.Errorf("stats: zero solver vars after a resolve")
+	}
+	return nil
+}
+
+// checkPoolRouting serves duplicate requests through a lazy pool and
+// demands shape-affine routing: the repeat must hit the warm shard's
+// cache, and /v1/stats must expose the per-shard counters.
+func checkPoolRouting() error {
+	u, root, _ := buildUniverse("registry", 1000, 8)
+	b, _ := buildBackend("pool", u, true, 4)
+	ts := httptest.NewServer(serve.New(b, serve.Options{}))
+	defer ts.Close()
+
+	req := serve.ResolveRequest{Roots: []string{root}}
+	for i := 0; i < 2; i++ {
+		var rr serve.ResolveResponse
+		if err := postJSON(ts.URL+"/v1/resolve", req, &rr); err != nil {
+			return err
+		}
+		if !rr.Optimal {
+			return fmt.Errorf("request %d: not optimal", i)
+		}
+	}
+	var st serve.ServerStats
+	if err := getJSON(ts.URL+"/v1/stats", &st); err != nil {
+		return err
+	}
+	pool := st.Pool
+	switch {
+	case pool == nil:
+		return fmt.Errorf("stats: no pool counters from pool backend")
+	case pool.Shards != 4:
+		return fmt.Errorf("stats: %d shards, want 4", pool.Shards)
+	case pool.Hits < 1:
+		return fmt.Errorf("stats: repeat request missed the warm shard (hits=%d)", pool.Hits)
+	}
+	served, hits := uint64(0), uint64(0)
+	for _, sh := range pool.Shard {
+		served += sh.Served
+		hits += sh.CacheHits
+	}
+	if served != 2 || hits < 1 {
+		return fmt.Errorf("stats: shard counters served=%d cache_hits=%d, want 2/>=1", served, hits)
+	}
+	return nil
+}
+
 func checkDaemon() error {
 	u, root, _ := buildUniverse("diamond", 4, 3)
-	b, _ := buildBackend("session", u)
+	b, _ := buildBackend("session", u, false, 0)
 	ts := httptest.NewServer(serve.New(b, serve.Options{}))
 	defer ts.Close()
 

@@ -48,8 +48,8 @@ func usage() {
 	fmt.Fprint(os.Stderr, `goarxivd — go-arxiv serving daemon
 
 usage:
-  goarxivd serve  [-addr :8080] [-family dense] [-pkgs 40] [-vers 8] [-backend portfolio] ...
-  goarxivd bench  [-n 2000] [-c 32] [-shapes 4] ...
+  goarxivd serve  [-addr :8080] [-family dense] [-pkgs 40] [-vers 8] [-backend portfolio] [-lazy] [-shards 0] ...
+  goarxivd bench  [-n 2000] [-c 32] [-shapes 4] [-lazy] ...
   goarxivd doctor
 
 `)
@@ -74,19 +74,30 @@ func buildUniverse(family string, pkgs, vers int) (*repo.Universe, string, error
 	case "conditional":
 		u, root := repo.SynthConditionalChain(pkgs, vers)
 		return u, root, nil
+	case "registry":
+		u, root := repo.SynthRegistry(pkgs, vers)
+		return u, root, nil
 	default:
-		return nil, "", fmt.Errorf("unknown family %q (dense|diamond|chain|virtual|conditional)", family)
+		return nil, "", fmt.Errorf("unknown family %q (dense|diamond|chain|virtual|conditional|registry)", family)
 	}
 }
 
-// buildBackend wires a resolve backend over the universe.
-func buildBackend(kind string, u *repo.Universe) (serve.Backend, error) {
+// buildBackend wires a resolve backend over the universe. lazy selects
+// first-reach clause materialization (the registry-scale configuration);
+// shards sizes the pool backend (0: GOMAXPROCS capped at 8).
+func buildBackend(kind string, u *repo.Universe, lazy bool, shards int) (serve.Backend, error) {
 	switch kind {
 	case "session":
-		return resolve.NewSessionResolver(u, resolve.SessionOptions{}), nil
+		return resolve.NewSessionResolver(u, resolve.SessionOptions{Lazy: lazy}), nil
 	case "portfolio":
-		return resolve.NewPortfolioResolver(u)
+		configs := resolve.DefaultPortfolio()
+		for i := range configs {
+			configs[i].Options.Lazy = lazy
+		}
+		return resolve.NewPortfolioResolver(u, configs...)
+	case "pool":
+		return resolve.NewPoolResolver(u, shards, resolve.SessionOptions{Lazy: lazy}), nil
 	default:
-		return nil, fmt.Errorf("unknown backend %q (session|portfolio)", kind)
+		return nil, fmt.Errorf("unknown backend %q (session|portfolio|pool)", kind)
 	}
 }

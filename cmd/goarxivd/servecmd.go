@@ -19,10 +19,12 @@ import (
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	family := fs.String("family", "dense", "synthetic universe family (dense|diamond|chain|virtual|conditional)")
+	family := fs.String("family", "dense", "synthetic universe family (dense|diamond|chain|virtual|conditional|registry)")
 	pkgs := fs.Int("pkgs", 40, "family size (packages / width / length / virtuals)")
 	vers := fs.Int("vers", 8, "versions per package")
-	backend := fs.String("backend", "portfolio", "resolver backend (session|portfolio)")
+	backend := fs.String("backend", "portfolio", "resolver backend (session|portfolio|pool)")
+	lazy := fs.Bool("lazy", false, "materialize clauses on first reach instead of encoding the whole universe up front (registry-scale)")
+	shards := fs.Int("shards", 0, "pool backend width (0: GOMAXPROCS capped at 8)")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent backend solves (0: GOMAXPROCS)")
 	maxQueue := fs.Int("max-queue", 0, "max queued leaders before 429 (0: 4x max-inflight)")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request timeout")
@@ -35,7 +37,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	b, err := buildBackend(*backend, u)
+	b, err := buildBackend(*backend, u, *lazy, *shards)
 	if err != nil {
 		return err
 	}
@@ -49,9 +51,13 @@ func runServe(args []string) error {
 	hs := &http.Server{Addr: *addr, Handler: s}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	hint := *addr
+	if len(hint) > 0 && hint[0] == ':' {
+		hint = "localhost" + hint
+	}
 	fmt.Printf("goarxivd: serving %s/%s (%d pkgs, %d versions) on %s — try:\n", *family, *backend, *pkgs, *vers, *addr)
-	fmt.Printf("  curl -s -X POST localhost%s/v1/resolve -d '{\"roots\":[%q]}'\n", *addr, root)
-	fmt.Printf("  curl -s localhost%s/v1/stats\n", *addr)
+	fmt.Printf("  curl -s -X POST %s/v1/resolve -d '{\"roots\":[%q]}'\n", hint, root)
+	fmt.Printf("  curl -s %s/v1/stats\n", hint)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -112,6 +112,23 @@
 // touched set are evicted, so a request untouched by a delta keeps its
 // cached answer with zero new solver work. Stats.Epoch reports the
 // universe epoch an answer was computed at.
+//
+// Lazy materialization. SessionOptions.Lazy (lazy.go) defers the skeleton
+// entirely: construction encodes nothing, and each request materializes
+// clauses only for its reachable subgraph — the closure of its roots over
+// dependency, conflict, trigger, and provides edges — on first contact.
+// Against registry-shaped universes (thousands of packages, sparse
+// per-root closures) this shrinks the solver formula and session footprint
+// by the catalog-to-working-set ratio while returning answers identical to
+// an eager session's: materialization is purely additive once closed, and
+// the one hazard — re-emitting a requirement clause over a widened
+// candidate set while stale learnt clauses pin its old support — is fenced
+// by the same ForgetLearnts discipline Extend uses. Deltas touching only
+// unmaterialized names park: the name is dirty-marked and its clauses
+// simply materialize post-delta when first reached, with no learnt-clause
+// drop and no cache sweep beyond the reach-scoped invalidation above.
+// EncodingStats reports coverage (materialized packages and solver
+// variables against the bound universe) for observability.
 package concretize
 
 import (

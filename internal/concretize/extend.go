@@ -72,7 +72,23 @@ func (se *Session) extendLocked(d *repo.Delta) {
 	// level-0 learnt units would be folded into re-added clauses by
 	// normalization, silently narrowing them forever. Forget learnts and
 	// rebuild the level-0 trail from axioms FIRST, before any re-adds.
-	s.ForgetLearnts()
+	//
+	// Exception: a delta that touches only packages a lazy session never
+	// materialized detaches nothing — all skeleton work is deferred to
+	// first reach — so the learnt clauses (and the warmth they encode)
+	// survive the delta intact.
+	needForget := !se.lazy
+	if !needForget {
+		for _, a := range d.Adds() {
+			if _, ok := se.vars[a.Pkg]; ok {
+				needForget = true
+				break
+			}
+		}
+	}
+	if needForget {
+		s.ForgetLearnts()
+	}
 
 	// dirty collects every name the delta touches, directly or through
 	// revival cascades; the worklist re-examines each name's widenable
@@ -107,6 +123,24 @@ func (se *Session) extendLocked(d *repo.Delta) {
 		group := adds[gi:gj]
 		pkg := group[0].Pkg
 		pv, ok := se.vars[pkg]
+		if !ok && se.lazy {
+			// Unmaterialized package on a lazy session (brand-new, or in
+			// the universe but never reached): encoding is deferred to
+			// first reach, which reads the post-delta universe. Only the
+			// invalidation bookkeeping needs the touched names now —
+			// cache/memo entries and activations keyed on the package or
+			// its provided virtuals must still fall. Neither joins the
+			// worklist: there is no encoded structure on them to widen
+			// yet, and materialization revives any parked work.
+			dirty[pkg] = true
+			for _, a := range group {
+				for _, pr := range a.Def.Provides {
+					dirty[pr.Virtual] = true
+				}
+			}
+			gi = gj
+			continue
+		}
 		switch {
 		case !ok:
 			// Brand-new package: the universe already holds exactly the
@@ -193,6 +227,7 @@ func (se *Session) extendLocked(d *repo.Delta) {
 		se.cache.sweep(func(_ string, e cacheEntry) bool { return touches(e.reach) })
 		se.cacheMu.Unlock()
 	}
+	se.syncEncodingStats()
 }
 
 // extendName re-examines one touched name: requirement-definition keys on

@@ -1,0 +1,7 @@
+//go:build !race
+
+package concretize
+
+// raceEnabled reports whether the race detector is compiled in; memory-
+// heavy full-scale suites skip under it.
+const raceEnabled = false

@@ -1,0 +1,124 @@
+package concretize
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+)
+
+// The BenchmarkRegistry* benchmarks are the registry-scale perf trajectory:
+// a lazy session over a sparse SynthRegistry universe whose single-root
+// reachable closure is a tiny, scale-free fraction of the catalog. Beyond
+// ns/op they report two custom metrics the bench scripts track across PRs:
+//
+//   - solver_vars: variables in the measurement session's solver formula —
+//     the lazy encoder's coverage (an eager session at the same scale
+//     allocates pkgs*(versions+1) before the first request).
+//   - heap_bytes: heap growth attributable to one warmed session, the
+//     memory the encoding actually costs.
+//
+// Scale is 2500 packages x 16 versions: large enough that lazy-vs-eager
+// separation is an order of magnitude, small enough that CI can afford the
+// cold path per iteration.
+
+const benchRegPkgs, benchRegVers = 2500, 16
+
+// reportRegistryMetrics builds one fresh lazy session off the clock, warms
+// it with the root request, and reports its encoder coverage and heap
+// footprint.
+func reportRegistryMetrics(b *testing.B, u *repo.Universe, root string) {
+	b.Helper()
+	b.StopTimer()
+	defer b.StartTimer()
+	before := heapAlloc()
+	sess := NewSession(u, SessionOptions{Lazy: true})
+	if _, err := sess.Resolve(context.Background(), []Root{{Pkg: root}}, Options{}); err != nil {
+		b.Fatalf("metrics Resolve: %v", err)
+	}
+	after := heapAlloc()
+	st := sess.EncodingStats()
+	b.ReportMetric(float64(st.SolverVars), "solver_vars")
+	if after > before {
+		b.ReportMetric(float64(after-before), "heap_bytes")
+	}
+}
+
+// BenchmarkRegistryCold measures first contact: a fresh lazy session
+// materializes the root's reachable subgraph and solves it. This is the
+// registry-scale cold-start number — construction is O(1), so the whole
+// cost sits in one materialization plus one solve.
+func BenchmarkRegistryCold(b *testing.B) {
+	u, root := repo.SynthRegistry(benchRegPkgs, benchRegVers)
+	roots := []Root{{Pkg: root}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := NewSession(u, SessionOptions{Lazy: true})
+		res, err := sess.Resolve(context.Background(), roots, Options{})
+		if err != nil {
+			b.Fatalf("Resolve: %v", err)
+		}
+		if len(res.Picks) == 0 {
+			b.Fatal("empty resolution")
+		}
+	}
+	reportRegistryMetrics(b, u, root)
+}
+
+// BenchmarkRegistryWarm measures the steady serving path: a repeat request
+// against an already-materialized lazy session — a cache lookup plus a
+// picks-map copy, independent of registry size.
+func BenchmarkRegistryWarm(b *testing.B) {
+	u, root := repo.SynthRegistry(benchRegPkgs, benchRegVers)
+	roots := []Root{{Pkg: root}}
+	sess := NewSession(u, SessionOptions{Lazy: true})
+	if _, err := sess.Resolve(context.Background(), roots, Options{}); err != nil {
+		b.Fatalf("prime Resolve: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Resolve(context.Background(), roots, Options{})
+		if err != nil {
+			b.Fatalf("Resolve: %v", err)
+		}
+		if len(res.Picks) == 0 {
+			b.Fatal("empty resolution")
+		}
+	}
+	reportRegistryMetrics(b, u, root)
+}
+
+// BenchmarkRegistryChurn measures a lazy session absorbing registry
+// publishes while serving: each iteration lands one append-only delta on a
+// rotating package and re-resolves the root. The rotation stride keeps
+// nearly every delta outside the root's materialized subgraph, so the
+// dominant path is delta parking — dirty-mark the unreached name, keep the
+// cached answer — with the occasional in-closure delta forcing a re-solve.
+func BenchmarkRegistryChurn(b *testing.B) {
+	u, root := repo.SynthRegistry(benchRegPkgs, benchRegVers)
+	roots := []Root{{Pkg: root}}
+	sess := NewSession(u, SessionOptions{Lazy: true})
+	if _, err := sess.Resolve(context.Background(), roots, Options{}); err != nil {
+		b.Fatalf("prime Resolve: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := repo.NewDelta()
+		d.Add(fmt.Sprintf("reg%d", (1000+i*37)%benchRegPkgs), fmt.Sprintf("%d.0", benchRegVers+1+i))
+		if _, err := sess.Extend(d); err != nil {
+			b.Fatalf("Extend: %v", err)
+		}
+		res, err := sess.Resolve(context.Background(), roots, Options{})
+		if err != nil {
+			b.Fatalf("Resolve: %v", err)
+		}
+		if len(res.Picks) == 0 {
+			b.Fatal("empty resolution")
+		}
+	}
+	reportRegistryMetrics(b, u, root)
+}

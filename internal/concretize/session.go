@@ -37,6 +37,20 @@ type SessionOptions struct {
 	// DefaultSessionMaxActivations; a negative value means unbounded.
 	MaxActivations int
 
+	// Lazy defers clause materialization to first reach: the session
+	// encodes nothing at construction and lowers each package (variables,
+	// selection structure, requirement clauses, trigger plumbing) the
+	// first time any request's reachability walk touches it, sharing the
+	// materialized subgraph with every later request. Solver size then
+	// tracks what requests actually reach instead of what the universe
+	// contains — the only mode that scales to registry-sized universes
+	// (see SynthRegistry), at the cost of a small first-touch encode per
+	// novel subgraph. Answers are identical to an eager session's (pinned
+	// by the lazy-vs-eager differential harness). Ignored by the
+	// request-scoped sessions Concretize builds internally, which already
+	// scope their skeleton to one request.
+	Lazy bool
+
 	// Solver tunes the underlying SAT search (branching polarity, restart
 	// schedule, objective-descent step). The zero value selects the
 	// defaults; differently-tuned Sessions return cost-identical answers,
@@ -73,6 +87,7 @@ type Session struct {
 	u     *repo.Universe
 	epoch repo.Epoch // universe epoch the skeleton reflects (guarded by mu)
 	full  bool       // skeleton covers the whole universe (Extend requires it)
+	lazy  bool       // materialize on first reach (immutable after construction)
 
 	// epochA mirrors epoch for lock-free reads: serving tiers key request
 	// coalescing on Epoch(), and an Epoch() that waited on mu would
@@ -81,6 +96,17 @@ type Session struct {
 	//
 	// goarxivlint:lockfree
 	epochA atomic.Uint64
+
+	// Encoder-coverage mirrors for EncodingStats (written under mu at
+	// every materialization point, read without — stats endpoints must
+	// never queue behind an in-flight solve).
+	//
+	// goarxivlint:lockfree
+	matPkgsA atomic.Int64
+	// goarxivlint:lockfree
+	uniPkgsA atomic.Int64
+	// goarxivlint:lockfree
+	matVarsA atomic.Int64
 
 	// mu serializes all solver access (the encoding, activation literals,
 	// and the branch-and-bound loop all mutate solver state).
@@ -230,7 +256,14 @@ func newSession(u *repo.Universe, names []string, opts SessionOptions, full bool
 	if size > 0 {
 		se.cache = newLRU[cacheEntry](size)
 	}
-	se.encodeSkeleton(names)
+	// Lazy sessions materialize per reachable subgraph on first touch (see
+	// lazy.go); only full-universe sessions qualify — Concretize's
+	// request-scoped sessions already cut their skeleton to one closure.
+	se.lazy = opts.Lazy && full
+	if !se.lazy {
+		se.encodeSkeleton(names)
+	}
+	se.syncEncodingStats()
 	return se
 }
 
@@ -263,6 +296,23 @@ func (se *Session) CacheLen() int {
 	se.cacheMu.RLock()
 	defer se.cacheMu.RUnlock()
 	return se.cache.len()
+}
+
+// HasCached reports whether the solution cache currently holds a
+// definitive answer for the request-shape key (see ShapeKey). It takes
+// only the cache lock — never the session lock — so routing tiers can
+// probe every member of a session pool without queuing behind in-flight
+// solves. The answer is advisory: a concurrent eviction can invalidate it
+// before the probing request lands, which costs that request a solve,
+// never its correctness.
+func (se *Session) HasCached(key string) bool {
+	if se.cache == nil {
+		return false
+	}
+	se.cacheMu.RLock()
+	defer se.cacheMu.RUnlock()
+	_, ok := se.cache.peek(key)
+	return ok
 }
 
 // encodeSkeleton lowers the given packages into the solver once, in sorted
@@ -707,6 +757,15 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 		if err != nil {
 			return nil, err
 		}
+		// First visit of this shape since construction or the last
+		// touching delta: a lazy session encodes whatever the closure
+		// reaches that isn't materialized yet. A bound-memo hit implies
+		// the shape's whole closure already materialized (entries fall
+		// whenever a delta touches their reach set), so the warm path
+		// skips even the membership scan.
+		if se.lazy {
+			se.materializeLocked(order, roots)
+		}
 	}
 
 	// Map context cancellation onto the solver's asynchronous interrupt so
@@ -761,6 +820,23 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 		}
 		memo = &boundEntry{order: order, reach: reach, terms: objTerms, total: total}
 		se.bounds.put(shapeKey, memo)
+		// First visit of this shape on a lazy session: seed saved phases
+		// toward the greedy assignment so the descent's first incumbent
+		// starts near the optimum. On the version-deep universes lazy
+		// sessions exist for (SynthRegistry carries up to 100 versions per
+		// package) this replaces a linear walk down hundreds of cost units
+		// — each a full solver round — with a handful of rounds; phases
+		// are pure heuristics, so seeding can never change the answer.
+		// Eager sessions keep their organic phases: on small dense
+		// universes the seed measurably degrades the warm steady state
+		// (BenchmarkConcretizeVirtualDiamondWarm regressed >2x when seeded
+		// — the one-time overwrite shifts the learnt-clause trajectory
+		// into a worse attractor) while buying nothing, since their
+		// version depth never produces the long descent walks the seed
+		// shortcuts.
+		if se.lazy {
+			se.seedPhases(order, roots)
+		}
 	}
 
 	s := se.solver
@@ -936,6 +1012,55 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 		boundAt = target
 		assumps = append(assumps[:nBase], guard)
 		se.assumpsBuf = assumps
+	}
+}
+
+// seedPhases seeds the solver's saved phases with the greedy
+// newest-version assignment over the request's reachable packages:
+// nothing installed until propagation demands it, and the newest version
+// tried first for whatever is. Objectives price versions newest-first
+// (index 0 cheapest under NewestVersion, and MinimalChange's tiebreak),
+// so the first model the search finds lands at or near the optimum
+// instead of wherever default polarities happen to settle — on
+// version-deep universes (SynthRegistry carries 100 versions per package)
+// the difference between a handful of descent rounds and hundreds. Phase
+// saving overwrites the seed as soon as the search assigns a variable,
+// and phases steer only which model is found first, never what is
+// satisfiable, so seeding cannot change any answer.
+// Root packages get a sharper seed: the newest version *their root range
+// allows*. The universal newest-first seed would walk a capped root (say
+// "pkg@:50" over 100 versions) down through ~lag conflicts before finding
+// its first admissible version — and the activity those conflicts bump
+// scrambles the branching order for everything below the root, which is
+// how a first incumbent ends up far from greedy.
+func (se *Session) seedPhases(order []string, roots []Root) {
+	s := se.solver
+	for _, name := range order {
+		pv := se.vars[name]
+		s.SetPhase(pv.installed, false)
+		for i, x := range pv.vers {
+			s.SetPhase(x, i == 0)
+		}
+	}
+	for _, r := range roots {
+		cands, ok := rootCandidates(se.u, r)
+		if !ok {
+			continue
+		}
+		for ci := 0; ci < len(cands); {
+			cj := ci
+			for cj < len(cands) && cands[cj].Pkg == cands[ci].Pkg {
+				cj++
+			}
+			// Candidates are newest-first within a package: cands[ci] is
+			// the best in-range pick for this package.
+			if pv, ok := se.vars[cands[ci].Pkg]; ok {
+				for i, x := range pv.vers {
+					s.SetPhase(x, i == cands[ci].Index)
+				}
+			}
+			ci = cj
+		}
 	}
 }
 

@@ -276,6 +276,84 @@ func SynthConditionalChain(length, versions int) (*Universe, string) {
 	return u, "cc0"
 }
 
+// SynthRegistry builds a registry-shaped universe: `pkgs` packages
+// "reg0".."reg<pkgs-1>" with `versions` versions each, whose dependency
+// graph mimics a real ecosystem dump. A small tier of hub libraries (the
+// last min(32, pkgs/8) packages, dependency-free leaves) is depended on
+// from everywhere, while the remaining packages form blocks of 48 whose
+// members depend only on up to three near successors inside their own
+// block — so the catalog is huge but any single request reaches at most a
+// block tail plus the hub tier, a few dozen packages. That gap between
+// universe size and reachable-closure size is the workload the lazy
+// session encoder exists for: whole-universe encoding pays for
+// pkgs*(versions+1) variables up front, lazy materialization for ~80
+// packages' worth.
+//
+// Every dependency range is an upper bound (":", or ":k" for every fourth
+// package), so the SynthDense monotone argument applies: each request has
+// a unique optimal resolution and differential tests may assert exact
+// picks. The shape is a pure function of (pkgs, versions) — arithmetic,
+// not seeded. Returns the universe and the root name "reg0".
+func SynthRegistry(pkgs, versions int) (*Universe, string) {
+	if pkgs < 2 || versions < 1 {
+		panic("repo: SynthRegistry requires pkgs >= 2 and versions >= 1")
+	}
+	const (
+		blockSize  = 48
+		nearWindow = 9
+		nearDeps   = 3
+	)
+	hubs := pkgs / 8
+	if hubs > 32 {
+		hubs = 32
+	}
+	if hubs < 1 {
+		hubs = 1
+	}
+	hubStart := pkgs - hubs
+	name := func(i int) string { return fmt.Sprintf("reg%d", i) }
+	u := New()
+	for i := 0; i < pkgs; i++ {
+		// Dependency targets are chosen once per package (versions differ
+		// only in ranges): near successors within the block, then hubs.
+		var targets []int
+		seen := map[int]bool{}
+		if i < hubStart {
+			blockEnd := (i/blockSize+1)*blockSize - 1
+			if blockEnd >= hubStart {
+				blockEnd = hubStart - 1
+			}
+			for d := 0; d < nearDeps; d++ {
+				j := i + 1 + (i*(2*d+1)+d)%nearWindow
+				if j > blockEnd || seen[j] {
+					continue
+				}
+				seen[j] = true
+				targets = append(targets, j)
+			}
+			h := hubStart + i%hubs
+			seen[h] = true
+			targets = append(targets, h)
+			if h2 := hubStart + (i*7+3)%hubs; i%3 == 0 && !seen[h2] {
+				targets = append(targets, h2)
+			}
+		}
+		tight := i%4 == 0
+		for k := 1; k <= versions; k++ {
+			var decls []Decl
+			for _, t := range targets {
+				rngStr := ":"
+				if tight && t < hubStart {
+					rngStr = ":" + fmt.Sprint(k)
+				}
+				decls = append(decls, Dep(name(t), rngStr))
+			}
+			u.Add(name(i), synthVer(k), decls...)
+		}
+	}
+	return u, "reg0"
+}
+
 // SynthUnsatWeb builds an unsatisfiable universe: a root "app" depends on
 // `width` packages "web0".."web<width-1>" (any version), and every version
 // of each web package conflicts with every version of the next one in the

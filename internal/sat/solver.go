@@ -217,6 +217,22 @@ func (s *Solver) ResetPhases() {
 	}
 }
 
+// SetPhase sets one variable's saved phase: the sign the search tries
+// first the next time it branches on v. Phases are pure heuristics — they
+// steer which model a search finds first, never what is satisfiable — so
+// callers may seed them toward a known-good assignment. Branch-and-bound
+// in internal/concretize seeds the objective's cheap polarity on a
+// shape's first visit, so the descent's first incumbent starts near the
+// optimum instead of wherever default polarities happen to land (on
+// version-deep registry universes the difference is hundreds of descent
+// rounds). Phase saving overwrites the seed as soon as the variable is
+// assigned in search, exactly as it overwrites the configured initial
+// polarity.
+func (s *Solver) SetPhase(v int, val bool) {
+	// polarity true means "assign -v first"; see allocVar.
+	s.polarity[v] = !val
+}
+
 // NewVar allocates a fresh variable and returns its number (>= 1).
 func (s *Solver) NewVar() int {
 	v := s.allocVar()

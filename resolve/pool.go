@@ -1,0 +1,305 @@
+package resolve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
+	"github.com/paper-repo-growth/go-arxiv/internal/repo"
+)
+
+// PoolResolver shards requests across N identically-configured warm
+// Sessions over one shared universe. Where a PortfolioResolver spends N
+// solvers on every request to win a latency race, a pool spends one solver
+// per request and wins throughput: distinct request shapes solve in
+// parallel on distinct shards, and each shard accumulates warm state —
+// learnt clauses, saved phases, banked bounds, cached answers, and (under
+// SessionOptions.Lazy) a materialized subgraph — for the slice of the
+// request space that hashes to it.
+//
+// Routing is shape-affine with cache-aware stealing. A request's home
+// shard is hash(Request.Key()) mod N, so repeats of a shape land on the
+// session that already solved it. Before solving, the router probes every
+// shard's solution cache (a lock-free peek): any shard that already holds
+// the answer serves it regardless of affinity. A cold request whose home
+// shard is mid-solve steals an idle shard instead of queuing — trading
+// shard warmth for latency — and queues on its home only when every shard
+// is busy. The in-flight counters driving those choices are advisory:
+// a racing arrival can turn a "steal" into a short queue, which costs
+// latency, never correctness.
+//
+// The universe grows through Apply under the same write barrier the
+// portfolio uses, with a stronger liveness contract: a shard whose in-place
+// extension fails is rebuilt as a fresh session over the already-grown
+// universe (cheap under Lazy: the rebuild encodes nothing until requests
+// re-reach their subgraphs) rather than quarantined, so a pool never loses
+// serving capacity — it loses one shard's warmth and counts the event in
+// PoolStats.Rebuilds.
+type PoolResolver struct {
+	u    *repo.Universe
+	opts SessionOptions
+
+	// mu is the Apply write barrier: Resolve holds it shared (each shard's
+	// session lock serializes actual solving), Apply holds it exclusively
+	// while broadcasting the delta — or rebuilding a shard — so no request
+	// ever observes a half-applied pool.
+	//
+	// goarxivlint:lock
+	mu     sync.RWMutex
+	shards []*poolShard
+
+	// epochA mirrors the shared universe's epoch for lock-free reads, so
+	// serving tiers can key coalescing on Epoch() without queuing behind an
+	// in-flight Apply broadcast.
+	//
+	// goarxivlint:lockfree
+	epochA atomic.Uint64
+
+	// Routing counters; see PoolStats.
+	//
+	// goarxivlint:lockfree
+	hits     atomic.Uint64
+	steals   atomic.Uint64
+	waits    atomic.Uint64
+	rebuilds atomic.Uint64
+
+	// testExtendHook, when set, injects a fault before a shard's Extend
+	// during Apply (test-only, mirroring the portfolio's hook: real
+	// extension failures require universe corruption).
+	testExtendHook func(shard int) error
+}
+
+// poolShard is one warm session plus its routing state.
+type poolShard struct {
+	se *concretize.Session
+
+	// inflight counts requests currently solving (or queued) on this
+	// shard; the router reads it lock-free to prefer idle shards.
+	//
+	// goarxivlint:lockfree
+	inflight atomic.Int64
+	// served counts requests this shard answered; cacheHits counts the
+	// subset answered from its solution cache. Their ratio is the shard's
+	// hit rate, exported through PoolStats for the stats endpoint.
+	//
+	// goarxivlint:lockfree
+	served    atomic.Uint64
+	cacheHits atomic.Uint64
+}
+
+var _ Resolver = (*PoolResolver)(nil)
+
+// NewPoolResolver builds a pool of n identically-configured sessions over
+// the universe; n <= 0 selects GOMAXPROCS capped at 8. With opts.Lazy set,
+// construction is O(1) per shard regardless of universe size — the
+// configuration that makes registry-scale pools practical.
+func NewPoolResolver(u *repo.Universe, n int, opts SessionOptions) *PoolResolver {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+		if n > 8 {
+			n = 8
+		}
+	}
+	p := &PoolResolver{u: u, opts: opts}
+	for i := 0; i < n; i++ {
+		p.shards = append(p.shards, &poolShard{se: concretize.NewSession(u, opts)})
+	}
+	p.epochA.Store(uint64(u.Epoch()))
+	return p
+}
+
+// NumShards returns the pool width.
+func (p *PoolResolver) NumShards() int { return len(p.shards) }
+
+// Apply grows the shared universe by one append-only delta and broadcasts
+// it across the shards under the write barrier. The delta is applied to
+// the universe exactly once (a validation failure mutates nothing and
+// touches no shard). A shard whose in-place extension fails self-heals: it
+// is replaced by a fresh session over the already-grown universe — losing
+// its warmth, never its capacity — and the event is counted in
+// PoolStats.Rebuilds. Apply therefore fails only on delta validation, and
+// every shard serves at the returned epoch afterwards.
+//
+// goarxivlint:blocking cancel=none
+func (p *PoolResolver) Apply(d *Delta) (Epoch, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	epoch, err := p.u.Apply(d)
+	if err != nil {
+		return p.u.Epoch(), err
+	}
+	p.epochA.Store(uint64(epoch))
+	for i, s := range p.shards {
+		err := error(nil)
+		if p.testExtendHook != nil {
+			err = p.testExtendHook(i)
+		}
+		if err == nil {
+			_, err = s.se.Extend(d)
+		}
+		if err != nil {
+			// Self-heal: a fresh session binds the post-delta universe, so
+			// it is already at the new epoch and must not replay the delta.
+			p.shards[i] = &poolShard{se: concretize.NewSession(p.u, p.opts)}
+			p.rebuilds.Add(1)
+		}
+	}
+	return epoch, nil
+}
+
+// Epoch returns the epoch of the shared universe, which every shard serves
+// at. It reads the atomic mirror, never mu, so per-request coalescing keys
+// never queue behind an Apply broadcast.
+//
+// goarxivlint:lockfree
+func (p *PoolResolver) Epoch() Epoch {
+	return Epoch(p.epochA.Load())
+}
+
+// shapeShard maps a request-shape key onto a home shard (FNV-1a).
+func shapeShard(key string, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}
+
+// route picks the shard to serve a request with the given shape key:
+// any shard already holding the answer (home first), else the idle home,
+// else an idle shard to steal, else the busy home. Returns whether the
+// choice left the home shard (a steal) and whether the target's cache
+// held the answer at probe time. Callers hold p.mu shared.
+func (p *PoolResolver) route(home int, key string) (shard int, stolen, cached bool) {
+	if p.shards[home].se.HasCached(key) {
+		return home, false, true
+	}
+	for i, s := range p.shards {
+		if i != home && s.se.HasCached(key) {
+			return i, true, true
+		}
+	}
+	if p.shards[home].inflight.Load() == 0 {
+		return home, false, false
+	}
+	for i, s := range p.shards {
+		if i != home && s.inflight.Load() == 0 {
+			return i, true, false
+		}
+	}
+	return home, false, false
+}
+
+// Resolve implements Resolver: it routes the request to one shard —
+// shape-affine, cache-aware, stealing idle capacity — and solves there.
+// Result.Config names the serving shard ("pool/3").
+//
+// goarxivlint:blocking
+func (p *PoolResolver) Resolve(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(p.shards) == 0 {
+		return nil, fmt.Errorf("resolve: pool has no shards")
+	}
+	key := req.Key()
+	// Shared-mode barrier against Apply: requests proceed concurrently
+	// with each other, never interleaved with a half-broadcast delta.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	home := shapeShard(key, len(p.shards))
+	idx, stolen, cached := p.route(home, key)
+	s := p.shards[idx]
+	if cached {
+		p.hits.Add(1)
+	} else if s.inflight.Load() > 0 {
+		p.waits.Add(1)
+	}
+	if stolen {
+		p.steals.Add(1)
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	res, err := s.se.Resolve(ctx, req.Roots, concretize.Options{
+		MaxConflicts: req.MaxConflicts,
+		Objective:    req.Objective,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.served.Add(1)
+	if res.Stats.SolutionCacheHit {
+		s.cacheHits.Add(1)
+	}
+	return &Result{Picks: res.Picks, Stats: res.Stats, Config: fmt.Sprintf("pool/%d", idx)}, nil
+}
+
+// ShardStats reports one shard's serving state: how much it has answered,
+// how much of that came from its solution cache, and how much of the
+// universe its solver formula actually carries (the lazy-encoder coverage
+// counters).
+type ShardStats struct {
+	// Served counts successfully answered requests; CacheHits the subset
+	// served from this shard's solution cache.
+	Served    uint64
+	CacheHits uint64
+	// Inflight is the number of requests solving or queued on this shard
+	// at snapshot time.
+	Inflight int64
+	// Encoding is the shard session's encoder-coverage snapshot.
+	Encoding EncodingStats
+}
+
+// PoolStats is a point-in-time snapshot of the pool's routing behavior.
+type PoolStats struct {
+	// Shards is the pool width.
+	Shards int
+	// Hits counts requests routed to a shard that already held the answer
+	// (home or stolen); Steals requests served off their home shard;
+	// Waits requests that queued behind an in-flight solve; Rebuilds
+	// shards replaced after a failed Apply extension.
+	Hits     uint64
+	Steals   uint64
+	Waits    uint64
+	Rebuilds uint64
+	// Shard holds per-shard counters, in shard order.
+	Shard []ShardStats
+}
+
+// Stats snapshots the pool's routing and per-shard counters. It holds the
+// barrier shared only long enough to read atomics — never a session lock —
+// so stats endpoints can poll it on every scrape.
+func (p *PoolResolver) Stats() PoolStats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st := PoolStats{
+		Shards:   len(p.shards),
+		Hits:     p.hits.Load(),
+		Steals:   p.steals.Load(),
+		Waits:    p.waits.Load(),
+		Rebuilds: p.rebuilds.Load(),
+	}
+	for _, s := range p.shards {
+		st.Shard = append(st.Shard, ShardStats{
+			Served:    s.served.Load(),
+			CacheHits: s.cacheHits.Load(),
+			Inflight:  s.inflight.Load(),
+			Encoding:  s.se.EncodingStats(),
+		})
+	}
+	return st
+}
+
+// CacheLen returns the total number of memoized resolutions across the
+// pool's shards (observability for serving tiers).
+func (p *PoolResolver) CacheLen() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, s := range p.shards {
+		n += s.se.CacheLen()
+	}
+	return n
+}

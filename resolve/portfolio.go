@@ -108,6 +108,7 @@ type PortfolioResolver struct {
 
 type portfolioMember struct {
 	name string
+	opts SessionOptions // construction options, kept for Rebuild
 	se   *concretize.Session
 	err  error // quarantine reason; nil while the member is healthy
 }
@@ -133,6 +134,7 @@ func NewPortfolioResolver(u *repo.Universe, configs ...BackendConfig) (*Portfoli
 		seen[c.Name] = true
 		p.members = append(p.members, portfolioMember{
 			name: c.Name,
+			opts: c.Options,
 			se:   concretize.NewSession(u, c.Options),
 		})
 	}
@@ -203,6 +205,34 @@ func (p *PortfolioResolver) Members() []string {
 		names[i] = m.name
 	}
 	return names
+}
+
+// Rebuild re-admits every quarantined member by replacing its stale
+// session with a fresh one — same configuration, encoded from the current
+// universe — and returns the names of the members it healed (nil when no
+// member was quarantined). A quarantined member's skeleton is behind the
+// shared universe and cannot be extended in place (the failed Apply
+// broadcast that benched it already tried); re-encoding from scratch is
+// the only way back into the race, and it restarts the member cold: learnt
+// clauses, banked bounds, and cached answers are gone, correctness is not.
+// Rebuild holds the write barrier, so it never races a broadcast and no
+// request observes a half-rebuilt portfolio.
+//
+// goarxivlint:blocking cancel=none
+func (p *PortfolioResolver) Rebuild() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var healed []string
+	for i := range p.members {
+		m := &p.members[i]
+		if m.err == nil {
+			continue
+		}
+		m.se = concretize.NewSession(p.u, m.opts)
+		m.err = nil
+		healed = append(healed, m.name)
+	}
+	return healed
 }
 
 // Health reports each member's serving state, in racing order: its name,

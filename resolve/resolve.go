@@ -18,7 +18,16 @@
 //     the objective-descent strategy (sat.Config.Descent: adaptive,
 //     linear stepping, or binary search between the incumbent and the
 //     proven lower bound) — so every member returns cost-identical
-//     answers; racing changes latency, never results.
+//     answers; racing changes latency, never results. Rebuild returns
+//     quarantined members to the race with fresh sessions.
+//   - PoolResolver shards requests across N identically-configured
+//     Sessions for throughput: shape-affine routing (hash of Request.Key)
+//     with cache-aware work stealing, so distinct request shapes solve in
+//     parallel and repeats land on the shard already warm for them. With
+//     SessionOptions.Lazy set, each shard materializes solver clauses only
+//     for the subgraphs its requests reach — the registry-scale
+//     configuration, where a pool over a catalog of thousands of packages
+//     carries formulas proportional to the working set, not the catalog.
 //
 // Warm requests are cheap twice over: beyond the solution cache, each
 // Session banks per-request-shape facts — the lowered objective and the
@@ -87,6 +96,11 @@ type (
 	// Epoch counts the deltas applied to a universe; Result.Stats.Epoch
 	// reports the epoch an answer was computed at.
 	Epoch = repo.Epoch
+	// EncodingStats is a session's encoder-coverage snapshot: how much of
+	// the bound universe the solver formula actually carries. Under
+	// SessionOptions.Lazy the materialized counts track the union of
+	// subgraphs requests have reached, not the universe.
+	EncodingStats = concretize.EncodingStats
 )
 
 // NewDelta returns an empty delta ready for Add calls.
@@ -239,3 +253,9 @@ func (r *SessionResolver) CacheLen() int { return r.se.CacheLen() }
 // serves at (advanced by Apply). Serving tiers qualify coalescing keys
 // with it so requests straddling a delta never share an answer.
 func (r *SessionResolver) Epoch() Epoch { return r.se.Epoch() }
+
+// EncodingStats returns the session's encoder-coverage counters (lock-free;
+// see concretize.Session.EncodingStats). Stats endpoints surface it so
+// operators can watch a lazy session's materialized subgraph grow against
+// the universe it serves.
+func (r *SessionResolver) EncodingStats() EncodingStats { return r.se.EncodingStats() }

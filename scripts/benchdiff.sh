@@ -1,7 +1,9 @@
 #!/bin/sh
 # benchdiff.sh <old.json> <new.json> — compare two BENCH_pr<N>.json files
-# (as written by benchjson.sh) and print per-benchmark ns/op and allocs/op
-# deltas. Regressions beyond 20% are flagged with "REGRESSION"; benchmarks
+# (as written by benchjson.sh) and print per-benchmark ns/op, allocs/op,
+# and B/op deltas (plus heap_bytes, the registry suite's session-footprint
+# metric, when both files carry it).
+# Regressions beyond 20% are flagged with "REGRESSION"; benchmarks
 # present in only one file are listed as added/removed. Exits 1 when any
 # regression is flagged, so CI can surface it — wire it in as non-blocking
 # (continue-on-error): bench numbers from shared runners are noisy, and the
@@ -11,17 +13,23 @@ old="${1:?usage: benchdiff.sh <old.json> <new.json>}"
 new="${2:?usage: benchdiff.sh <old.json> <new.json>}"
 
 awk -v oldfile="$old" -v newfile="$new" '
-function parse(line, kv,   name, ns, allocs) {
-    # one benchmark entry per line: extract "name", ns_per_op, allocs_per_op
+function parse(line, kv,   name, ns, allocs, b, heap) {
+    # one benchmark entry per line: extract "name" plus the tracked metrics
     if (match(line, /"name": "[^"]*"/) == 0) return ""
     name = substr(line, RSTART + 9, RLENGTH - 10)
-    ns = ""; allocs = ""
+    ns = ""; allocs = ""; b = ""; heap = ""
     if (match(line, /"ns_per_op": [0-9.]+/))
         ns = substr(line, RSTART + 13, RLENGTH - 13)
     if (match(line, /"allocs_per_op": [0-9.]+/))
         allocs = substr(line, RSTART + 17, RLENGTH - 17)
+    if (match(line, /"b_per_op": [0-9.]+/))
+        b = substr(line, RSTART + 12, RLENGTH - 12)
+    if (match(line, /"heap_bytes": [0-9.]+/))
+        heap = substr(line, RSTART + 14, RLENGTH - 14)
     kv[name "/ns"] = ns
     kv[name "/allocs"] = allocs
+    kv[name "/b"] = b
+    kv[name "/heap"] = heap
     return name
 }
 function pct(o, n) {
@@ -40,7 +48,7 @@ BEGIN {
         name = parse(line, newv)
         if (name != "") { newnames[name] = 1; order[++n] = name }
     }
-    printf "%-42s %14s %14s %9s   %8s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old al", "new al", "delta"
+    printf "%-42s %14s %14s %9s   %8s %8s %9s   %10s %10s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "old al", "new al", "delta", "old B/op", "new B/op", "delta"
     bad = 0
     for (i = 1; i <= n; i++) {
         name = order[i]
@@ -50,10 +58,20 @@ BEGIN {
         }
         ons = oldv[name "/ns"] + 0; nns = newv[name "/ns"] + 0
         oal = oldv[name "/allocs"] + 0; nal = newv[name "/allocs"] + 0
-        dns = pct(ons, nns); dal = pct(oal, nal)
+        ob = oldv[name "/b"] + 0; nb = newv[name "/b"] + 0
+        dns = pct(ons, nns); dal = pct(oal, nal); db = pct(ob, nb)
         flag = ""
-        if (dns > 20 || dal > 20) { flag = "  REGRESSION"; bad = 1 }
-        printf "%-42s %14d %14d %9s   %8d %8d %9s%s\n", name, ons, nns, fmtpct(dns), oal, nal, fmtpct(dal), flag
+        if (dns > 20 || dal > 20 || db > 20) { flag = "  REGRESSION"; bad = 1 }
+        printf "%-42s %14d %14d %9s   %8d %8d %9s   %10d %10d %9s%s\n", name, ons, nns, fmtpct(dns), oal, nal, fmtpct(dal), ob, nb, fmtpct(db), flag
+        # heap_bytes: the registry session-footprint metric, compared
+        # when both trajectories carry it (growth >20% flags too).
+        oh = oldv[name "/heap"] + 0; nh = newv[name "/heap"] + 0
+        if (oldv[name "/heap"] != "" && newv[name "/heap"] != "") {
+            dh = pct(oh, nh)
+            hflag = ""
+            if (dh > 20) { hflag = "  REGRESSION"; bad = 1 }
+            printf "%-42s %14d %14d %9s   (heap_bytes)%s\n", "  " name " heap", oh, nh, fmtpct(dh), hflag
+        }
     }
     for (name in oldnames) {
         if (!(name in newnames))

@@ -100,6 +100,38 @@ type MemberHealthResponse struct {
 	Error       string `json:"error,omitempty"`
 }
 
+// EncodingResponse is one backend session's encoder-coverage snapshot in
+// GET /v1/stats: how much of the bound universe the solver formula
+// actually carries. For a lazy backend the materialized counts track the
+// union of subgraphs requests have reached — the number that makes
+// registry-scale universes servable.
+type EncodingResponse struct {
+	Lazy                 bool `json:"lazy"`
+	MaterializedPackages int  `json:"materialized_packages"`
+	UniversePackages     int  `json:"universe_packages"`
+	SolverVars           int  `json:"solver_vars"`
+}
+
+// ShardStatsResponse is one pool shard's state in GET /v1/stats.
+type ShardStatsResponse struct {
+	Served    uint64           `json:"served"`
+	CacheHits uint64           `json:"cache_hits"`
+	HitRate   float64          `json:"hit_rate"`
+	Inflight  int64            `json:"inflight"`
+	Encoding  EncodingResponse `json:"encoding"`
+}
+
+// PoolStatsResponse is the pool backend's routing snapshot in GET
+// /v1/stats: global routing counters plus per-shard hit rates.
+type PoolStatsResponse struct {
+	Shards   int                  `json:"shards"`
+	Hits     uint64               `json:"hits"`
+	Steals   uint64               `json:"steals"`
+	Waits    uint64               `json:"waits"`
+	Rebuilds uint64               `json:"rebuilds"`
+	Shard    []ShardStatsResponse `json:"shard"`
+}
+
 // ServerStats is the wire form of GET /v1/stats: the process-wide metrics
 // registry plus backend observability.
 type ServerStats struct {
@@ -122,8 +154,10 @@ type ServerStats struct {
 	Queued      int     `json:"queued"`
 	MaxInflight int     `json:"max_inflight"`
 
-	Epoch   uint64                 `json:"epoch"`
-	Members []MemberHealthResponse `json:"members,omitempty"`
+	Epoch    uint64                 `json:"epoch"`
+	Members  []MemberHealthResponse `json:"members,omitempty"`
+	Encoding *EncodingResponse      `json:"encoding,omitempty"`
+	Pool     *PoolStatsResponse     `json:"pool,omitempty"`
 }
 
 // ErrorResponse is the wire form of every non-2xx answer. Kind is a stable

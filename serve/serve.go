@@ -69,6 +69,21 @@ type healthReporter interface {
 	Health() []resolve.MemberHealth
 }
 
+// encodingReporter is implemented by backends fronting one session
+// (resolve.SessionResolver); /v1/stats surfaces the encoder-coverage
+// counters when present — the live view of a lazy session's materialized
+// subgraph against the universe it serves.
+type encodingReporter interface {
+	EncodingStats() resolve.EncodingStats
+}
+
+// poolReporter is implemented by sharded backends (resolve.PoolResolver);
+// /v1/stats surfaces routing counters and per-shard hit rates when
+// present.
+type poolReporter interface {
+	Stats() resolve.PoolStats
+}
+
 // Options tunes a Server. The zero value selects sane defaults.
 type Options struct {
 	// MaxInflight bounds concurrent backend solves (leader requests past
@@ -374,7 +389,44 @@ func (s *Server) Stats() ServerStats {
 			st.Members = append(st.Members, mh)
 		}
 	}
+	if er, ok := s.backend.(encodingReporter); ok {
+		enc := encodingResponse(er.EncodingStats())
+		st.Encoding = &enc
+	}
+	if pr, ok := s.backend.(poolReporter); ok {
+		ps := pr.Stats()
+		pool := PoolStatsResponse{
+			Shards:   ps.Shards,
+			Hits:     ps.Hits,
+			Steals:   ps.Steals,
+			Waits:    ps.Waits,
+			Rebuilds: ps.Rebuilds,
+		}
+		for _, sh := range ps.Shard {
+			sr := ShardStatsResponse{
+				Served:    sh.Served,
+				CacheHits: sh.CacheHits,
+				Inflight:  sh.Inflight,
+				Encoding:  encodingResponse(sh.Encoding),
+			}
+			if sh.Served > 0 {
+				sr.HitRate = float64(sh.CacheHits) / float64(sh.Served)
+			}
+			pool.Shard = append(pool.Shard, sr)
+		}
+		st.Pool = &pool
+	}
 	return st
+}
+
+// encodingResponse lowers encoder-coverage counters onto the wire.
+func encodingResponse(e resolve.EncodingStats) EncodingResponse {
+	return EncodingResponse{
+		Lazy:                 e.Lazy,
+		MaterializedPackages: e.MaterializedPackages,
+		UniversePackages:     e.UniversePackages,
+		SolverVars:           e.SolverVars,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

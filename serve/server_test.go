@@ -235,6 +235,71 @@ func TestServerStatsAndHealthz(t *testing.T) {
 	}
 }
 
+// TestServerStatsLazyPoolSections: the registry-scale observability is
+// wired through /v1/stats — a lazy session backend exposes its encoder
+// coverage, and a pool backend its per-shard routing counters.
+func TestServerStatsLazyPoolSections(t *testing.T) {
+	fetchStats := func(t *testing.T, url string) ServerStats {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st ServerStats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	u, root := repo.SynthRegistry(600, 6)
+	sess := httptest.NewServer(New(resolve.NewSessionResolver(u, resolve.SessionOptions{Lazy: true}), Options{}))
+	defer sess.Close()
+	var rr ResolveResponse
+	if status, er := postJSON(t, sess.URL+"/v1/resolve", ResolveRequest{Roots: []string{root}}, &rr); status != http.StatusOK {
+		t.Fatalf("session resolve: %d %s", status, er.Error)
+	}
+	st := fetchStats(t, sess.URL)
+	if st.Encoding == nil {
+		t.Fatal("lazy session backend exposed no encoding section")
+	}
+	if !st.Encoding.Lazy || st.Encoding.UniversePackages != 600 {
+		t.Fatalf("encoding section %+v, want lazy over 600 packages", st.Encoding)
+	}
+	if st.Encoding.MaterializedPackages == 0 || st.Encoding.MaterializedPackages >= 600 {
+		t.Fatalf("materialized %d of 600 — lazy coverage should be partial", st.Encoding.MaterializedPackages)
+	}
+
+	u2, root2 := repo.SynthRegistry(600, 6)
+	pool := httptest.NewServer(New(resolve.NewPoolResolver(u2, 3, resolve.SessionOptions{Lazy: true}), Options{}))
+	defer pool.Close()
+	for i := 0; i < 2; i++ {
+		if status, er := postJSON(t, pool.URL+"/v1/resolve", ResolveRequest{Roots: []string{root2}}, &rr); status != http.StatusOK {
+			t.Fatalf("pool resolve %d: %d %s", i, status, er.Error)
+		}
+	}
+	st = fetchStats(t, pool.URL)
+	if st.Pool == nil {
+		t.Fatal("pool backend exposed no pool section")
+	}
+	if st.Pool.Shards != 3 || len(st.Pool.Shard) != 3 {
+		t.Fatalf("pool section reports %d/%d shards, want 3", st.Pool.Shards, len(st.Pool.Shard))
+	}
+	if st.Pool.Hits < 1 {
+		t.Fatalf("repeat request recorded %d routing hits, want >= 1", st.Pool.Hits)
+	}
+	var served uint64
+	var rate float64
+	for _, sh := range st.Pool.Shard {
+		served += sh.Served
+		rate += sh.HitRate
+	}
+	if served != 2 || rate <= 0 {
+		t.Fatalf("shards served %d (hit rate sum %.2f), want 2 served with a warm hit", served, rate)
+	}
+}
+
 // TestServerRejectsBadJSON: garbage and unknown fields are 400s.
 func TestServerRejectsBadJSON(t *testing.T) {
 	_, ts := newDiamondServer(t)
