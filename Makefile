@@ -1,7 +1,7 @@
 GO ?= go
 BENCHTIME ?= 0.3s
-PR ?= pr9
-PREV_PR ?= pr8
+PR ?= pr10
+PREV_PR ?= pr9
 BENCH_JSON ?= BENCH_$(PR).json
 # The perf-trajectory suite: cold concretization, warm Session paths, the
 # portfolio, the HTTP daemon pipeline, and the registry-scale lazy suite
@@ -9,7 +9,7 @@ BENCH_JSON ?= BENCH_$(PR).json
 # records the numbers in $(BENCH_JSON) so performance is tracked across PRs.
 BENCH_PATTERN ?= BenchmarkConcretize|BenchmarkSessionWarm|BenchmarkPortfolio|BenchmarkSessionResolver|BenchmarkSessionChurn|BenchmarkSessionExtend|BenchmarkDaemon|BenchmarkRegistry
 
-.PHONY: all build vet fmt lint satcheck test race bench benchdiff fuzz-smoke serve-smoke
+.PHONY: all build vet fmt lint satcheck test race bench benchdiff fuzz-smoke serve-smoke chaos checkbin
 
 all: fmt build vet lint test
 
@@ -58,6 +58,17 @@ benchdiff:
 serve-smoke:
 	$(GO) test -race -count=1 ./serve/
 	$(GO) run ./cmd/goarxivd doctor
+
+# The chaos gate: randomized fault schedules (injected errors, latency,
+# panics at the faultpoint sites) against live daemons under -race, with a
+# fixed seed matrix and a fault-free oracle; see serve/chaos_test.go.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./serve/
+
+# Repository hygiene: fail when any committed file is an executable binary
+# (test binaries, compiled tools); see scripts/checkbin.sh.
+checkbin:
+	./scripts/checkbin.sh
 
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz='^FuzzParse$$' -fuzztime=20s ./internal/version/

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/paper-repo-growth/go-arxiv/internal/faultpoint"
 	"github.com/paper-repo-growth/go-arxiv/resolve"
 	"github.com/paper-repo-growth/go-arxiv/serve"
 )
@@ -44,6 +45,8 @@ func runDoctor(args []string) error {
 	check("daemon/coalescing", checkCoalescing())
 	check("lazy/coverage", checkLazyCoverage())
 	check("pool/routing", checkPoolRouting())
+	check("daemon/degraded-mode", checkDegradedMode())
+	check("portfolio/crashloop", checkCrashLoop())
 
 	if failures > 0 {
 		return fmt.Errorf("%d check(s) failed", failures)
@@ -162,6 +165,115 @@ func checkPoolRouting() error {
 	}
 	if served != 2 || hits < 1 {
 		return fmt.Errorf("stats: shard counters served=%d cache_hits=%d, want 2/>=1", served, hits)
+	}
+	return nil
+}
+
+// checkDegradedMode verifies the stale-answer degraded path end to end:
+// with the backend failing (an armed faultpoint at the serving boundary),
+// a previously-answered shape must still get a 200 — marked degraded and
+// stamped with the epoch it was computed at — and once the fault clears,
+// answers must be fresh again with the degraded counter recording the
+// episode.
+func checkDegradedMode() error {
+	defer faultpoint.DisarmAll()
+	u, root, _ := buildUniverse("diamond", 4, 3)
+	b, _ := buildBackend("session", u, false, 0)
+	ts := httptest.NewServer(serve.New(b, serve.Options{MaxRetries: -1}))
+	defer ts.Close()
+
+	req := serve.ResolveRequest{Roots: []string{root}}
+	var warm serve.ResolveResponse
+	if err := postJSON(ts.URL+"/v1/resolve", req, &warm); err != nil {
+		return fmt.Errorf("warm resolve: %w", err)
+	}
+	if warm.Degraded {
+		return fmt.Errorf("warm resolve already degraded")
+	}
+	// Advance the universe so the stale answer's epoch is genuinely old.
+	var ar serve.ApplyResponse
+	delta := serve.ApplyRequest{Adds: []serve.VersionAddRequest{{Pkg: "base", Version: "99.0"}}}
+	if err := postJSON(ts.URL+"/v1/apply", delta, &ar); err != nil {
+		return fmt.Errorf("apply: %w", err)
+	}
+	if err := faultpoint.Arm("serve/backend/resolve",
+		faultpoint.Any(faultpoint.Error(0, nil))); err != nil {
+		return err
+	}
+	var stale serve.ResolveResponse
+	if err := postJSON(ts.URL+"/v1/resolve", req, &stale); err != nil {
+		return fmt.Errorf("faulted resolve: %w", err)
+	}
+	if !stale.Degraded || stale.Epoch != warm.Epoch {
+		return fmt.Errorf("faulted resolve: degraded=%v epoch=%d, want stale answer at epoch %d",
+			stale.Degraded, stale.Epoch, warm.Epoch)
+	}
+	faultpoint.DisarmAll()
+	var fresh serve.ResolveResponse
+	if err := postJSON(ts.URL+"/v1/resolve", req, &fresh); err != nil {
+		return fmt.Errorf("recovered resolve: %w", err)
+	}
+	if fresh.Degraded || fresh.Epoch != ar.Epoch {
+		return fmt.Errorf("recovered resolve: degraded=%v epoch=%d, want fresh epoch %d",
+			fresh.Degraded, fresh.Epoch, ar.Epoch)
+	}
+	var st serve.ServerStats
+	if err := getJSON(ts.URL+"/v1/stats", &st); err != nil {
+		return err
+	}
+	if st.Degraded < 1 {
+		return fmt.Errorf("stats: degraded counter = %d, want >= 1", st.Degraded)
+	}
+	return nil
+}
+
+// checkCrashLoop drives one portfolio member into a panic loop (solve and
+// rebuild both panicking via faultpoints) under a tight crashloop policy
+// and demands (a) every request still succeeds off the survivors, (b) the
+// member lands in the sticky CrashLoop state instead of rebuild-thrashing,
+// and (c) an explicit operator Rebuild restores it once the fault clears.
+func checkCrashLoop() error {
+	defer faultpoint.DisarmAll()
+	u, root, _ := buildUniverse("diamond", 4, 3)
+	p, err := resolve.NewPortfolioResolver(u)
+	if err != nil {
+		return err
+	}
+	p.SetCrashLoopPolicy(2, time.Hour)
+	if err := faultpoint.Arm("resolve/portfolio/solve",
+		faultpoint.On("dive", faultpoint.Panic(0, "doctor crashloop solve"))); err != nil {
+		return err
+	}
+	if err := faultpoint.Arm("resolve/portfolio/rebuild",
+		faultpoint.On("dive", faultpoint.Panic(0, "doctor crashloop rebuild"))); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req := resolve.Request{Roots: []resolve.Root{{Pkg: root}}}
+	sticky := false
+	for i := 0; i < 8 && !sticky; i++ {
+		if _, err := p.Resolve(ctx, req); err != nil {
+			return fmt.Errorf("resolve %d should have survived on healthy members: %w", i, err)
+		}
+		for _, h := range p.Health() {
+			if h.Name == "dive" && h.CrashLoop {
+				sticky = true
+			}
+		}
+	}
+	if !sticky {
+		return fmt.Errorf("dive never went sticky after repeated contained panics")
+	}
+	faultpoint.DisarmAll()
+	healed := p.Rebuild()
+	if len(healed) != 1 || healed[0] != "dive" {
+		return fmt.Errorf("rebuild healed %v, want [dive]", healed)
+	}
+	for _, h := range p.Health() {
+		if h.Quarantined {
+			return fmt.Errorf("member %s still benched after rebuild: %v", h.Name, h.Err)
+		}
 	}
 	return nil
 }

@@ -43,6 +43,14 @@ func (se *Session) Extend(d *repo.Delta) (repo.Epoch, error) {
 	if !se.full {
 		return se.epoch, errors.New("concretize: Extend on a request-scoped session")
 	}
+	// Fault-injection site, before any mutation: an injected error aborts
+	// cleanly here (universe untouched) — unless a sibling session already
+	// applied the delta, in which case this session's skeleton is left one
+	// epoch behind the shared universe, the state the caller's quarantine
+	// or rebuild path must handle.
+	if err := fpExtend.Inject(""); err != nil {
+		return se.epoch, fmt.Errorf("concretize: extend: %w", err)
+	}
 	switch ue := se.u.Epoch(); {
 	case ue == se.epoch:
 		if _, err := se.u.Apply(d); err != nil {

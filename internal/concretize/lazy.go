@@ -16,6 +16,8 @@ package concretize
 // cases before any mutation.
 
 import (
+	"fmt"
+
 	"github.com/paper-repo-growth/go-arxiv/internal/sat"
 )
 
@@ -69,8 +71,13 @@ func (se *Session) syncEncodingStats() {
 // fresh packages are emitted last, after the worklist, so a declaration
 // that parks itself in this batch (a dormant trigger on a still-unreached
 // name) is not immediately revived. Callers hold se.mu; order must be a
-// reachability closure over the current universe.
-func (se *Session) materializeLocked(order []string, roots []Root) {
+// reachability closure over the current universe. The only error path is
+// the injection site, which fires before any mutation — a real
+// materialization failure is a bug, not a runtime condition.
+func (se *Session) materializeLocked(order []string, roots []Root) error {
+	if err := fpMaterialize.Inject(""); err != nil {
+		return fmt.Errorf("concretize: materialize: %w", err)
+	}
 	var fresh []string
 	for _, name := range order {
 		if _, ok := se.vars[name]; !ok {
@@ -114,7 +121,7 @@ func (se *Session) materializeLocked(order []string, roots []Root) {
 		add(name)
 	}
 	if len(touched) == 0 {
-		return
+		return nil
 	}
 
 	// Detaches invalidate learnt clauses (stale level-0 learnt units would
@@ -164,6 +171,7 @@ func (se *Session) materializeLocked(order []string, roots []Root) {
 	}
 
 	se.syncEncodingStats()
+	return nil
 }
 
 // materializeHazard reports whether materializing the touched names will

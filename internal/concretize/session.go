@@ -764,7 +764,9 @@ func (se *Session) solveLocked(ctx context.Context, roots []Root, parts []string
 		// whenever a delta touches their reach set), so the warm path
 		// skips even the membership scan.
 		if se.lazy {
-			se.materializeLocked(order, roots)
+			if err := se.materializeLocked(order, roots); err != nil {
+				return nil, err
+			}
 		}
 	}
 

@@ -1,0 +1,211 @@
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newT registers a uniquely-named site and disarms it at cleanup, so tests
+// never leak schedules into each other through the process registry.
+func newT(t *testing.T) *Point {
+	t.Helper()
+	p := New(fmt.Sprintf("test/%s", t.Name()))
+	t.Cleanup(func() { Disarm(p.Name()) })
+	return p
+}
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	p := newT(t)
+	for i := 0; i < 100; i++ {
+		if err := p.Inject("any"); err != nil {
+			t.Fatalf("disarmed Inject returned %v", err)
+		}
+	}
+	if p.Hits() != 0 {
+		t.Fatalf("disarmed injections counted: hits=%d", p.Hits())
+	}
+}
+
+func TestScheduleOrderAndExhaustion(t *testing.T) {
+	p := newT(t)
+	boom := errors.New("boom")
+	if err := Arm(p.Name(), Any(Skip(2), Error(1, boom))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Inject(""); err != nil {
+			t.Fatalf("skip step %d returned %v", i, err)
+		}
+	}
+	if err := p.Inject(""); !errors.Is(err, boom) {
+		t.Fatalf("third injection = %v, want boom", err)
+	}
+	// Exhausted schedule auto-disarms: later injections pass and stop
+	// counting.
+	h := p.Hits()
+	if err := p.Inject(""); err != nil {
+		t.Fatalf("post-exhaustion injection = %v", err)
+	}
+	if p.Hits() != h {
+		t.Fatalf("exhausted site still counting hits")
+	}
+	if got := Armed(); len(got) != 0 {
+		t.Fatalf("Armed() = %v after exhaustion, want empty", got)
+	}
+}
+
+func TestLabelTargeting(t *testing.T) {
+	p := newT(t)
+	if err := Arm(p.Name(), On("dive", Error(0, nil))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inject("baseline"); err != nil {
+		t.Fatalf("unmatched label injected: %v", err)
+	}
+	err := p.Inject("dive")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("matched label = %v, want ErrInjected", err)
+	}
+	// n==0 repeats forever: still armed, still failing.
+	if err := p.Inject("dive"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("forever step exhausted: %v", err)
+	}
+	if got := Armed(); len(got) != 1 || got[0] != p.Name() {
+		t.Fatalf("Armed() = %v, want [%s]", got, p.Name())
+	}
+}
+
+func TestRuleCursorsAreIndependent(t *testing.T) {
+	p := newT(t)
+	errA, errB := errors.New("a"), errors.New("b")
+	if err := Arm(p.Name(), On("a", Error(1, errA)), On("b", Error(1, errB))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Inject("b"); !errors.Is(err, errB) {
+		t.Fatalf("label b = %v", err)
+	}
+	if err := p.Inject("a"); !errors.Is(err, errA) {
+		t.Fatalf("label a = %v", err)
+	}
+}
+
+func TestPanicStepRaisesPanicValue(t *testing.T) {
+	p := newT(t)
+	if err := Arm(p.Name(), Any(Panic(1, "die"))); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		rec := recover()
+		pv, ok := rec.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *PanicValue", rec, rec)
+		}
+		if pv.Site != p.Name() || pv.Msg != "die" {
+			t.Fatalf("panic value = %+v", pv)
+		}
+	}()
+	p.Inject("")
+	t.Fatal("Panic step did not panic")
+}
+
+func TestLatencyStepSleeps(t *testing.T) {
+	p := newT(t)
+	if err := Arm(p.Name(), Any(Latency(1, 30*time.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := p.Inject(""); err != nil {
+		t.Fatalf("latency step returned %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency step slept %v, want >= 30ms", d)
+	}
+}
+
+func TestConcurrentInjectIsExact(t *testing.T) {
+	p := newT(t)
+	const faults = 10
+	if err := Arm(p.Name(), Any(Error(faults, nil))); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failed := 0
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Inject("w"); err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if failed != faults {
+		t.Fatalf("injected %d faults across 64 concurrent hits, want exactly %d", failed, faults)
+	}
+}
+
+func TestArmValidation(t *testing.T) {
+	p := newT(t)
+	if err := Arm("no/such/site", Any(Skip(1))); err == nil {
+		t.Fatal("Arm on unknown site succeeded")
+	}
+	if err := Arm(p.Name()); err == nil {
+		t.Fatal("Arm with no rules succeeded")
+	}
+	if err := Arm(p.Name(), Rule{}); err == nil {
+		t.Fatal("Arm with empty rule succeeded")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	rules, err := parseSpec("a/b[dive]=2*skip,error(boom); c/d = sleep(5ms), 0*panic(x) ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := rules["a/b"]
+	if len(ab) != 1 || ab[0].Label != "dive" || len(ab[0].Steps) != 2 {
+		t.Fatalf("a/b rules = %+v", ab)
+	}
+	if ab[0].Steps[0].act != actSkip || ab[0].Steps[0].n != 2 {
+		t.Fatalf("a/b step 0 = %+v", ab[0].Steps[0])
+	}
+	if ab[0].Steps[1].act != actError || ab[0].Steps[1].msg != "boom" {
+		t.Fatalf("a/b step 1 = %+v", ab[0].Steps[1])
+	}
+	cd := rules["c/d"]
+	if len(cd) != 1 || cd[0].Label != "" || len(cd[0].Steps) != 2 {
+		t.Fatalf("c/d rules = %+v", cd)
+	}
+	if cd[0].Steps[0].act != actLatency || cd[0].Steps[0].d != 5*time.Millisecond {
+		t.Fatalf("c/d step 0 = %+v", cd[0].Steps[0])
+	}
+	if cd[0].Steps[1].act != actPanic || cd[0].Steps[1].n != 0 {
+		t.Fatalf("c/d step 1 = %+v", cd[0].Steps[1])
+	}
+
+	for _, bad := range []string{"nosign", "x[y=skip", "x=explode", "x=sleep(nope)", "x=-1*skip", "=skip"} {
+		if _, err := parseSpec(bad); err == nil {
+			t.Fatalf("parseSpec(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestEnvArmOnRegistration(t *testing.T) {
+	// Simulate init(): stash pending rules, then register the site.
+	name := "test/env-armed"
+	registry.mu.Lock()
+	registry.pending[name] = []Rule{Any(Error(1, nil))}
+	registry.mu.Unlock()
+	p := New(name)
+	t.Cleanup(func() { Disarm(name) })
+	if err := p.Inject(""); !errors.Is(err, ErrInjected) {
+		t.Fatalf("env-pending site not armed at registration: %v", err)
+	}
+}

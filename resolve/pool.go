@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
@@ -39,6 +42,12 @@ import (
 // re-reach their subgraphs) rather than quarantined, so a pool never loses
 // serving capacity — it loses one shard's warmth and counts the event in
 // PoolStats.Rebuilds.
+//
+// Failure is contained the same way the portfolio contains it: a shard
+// that panics mid-solve is marked broken (excluded from routing, the
+// request fails with the contained *PanicError), healed with a fresh
+// session at the next Apply or Resolve entry, and sticky-benched by the
+// crashloop detector when it keeps crashing.
 type PoolResolver struct {
 	u    *repo.Universe
 	opts SessionOptions
@@ -59,6 +68,13 @@ type PoolResolver struct {
 	// goarxivlint:lockfree
 	epochA atomic.Uint64
 
+	// healNeeded flags that some shard broke under the shared side of the
+	// barrier (a solve panic) and waits for a heal; Resolve checks it
+	// lock-free on entry.
+	//
+	// goarxivlint:lockfree
+	healNeeded atomic.Bool
+
 	// Routing counters; see PoolStats.
 	//
 	// goarxivlint:lockfree
@@ -66,11 +82,12 @@ type PoolResolver struct {
 	steals   atomic.Uint64
 	waits    atomic.Uint64
 	rebuilds atomic.Uint64
+	panics   atomic.Uint64
 
-	// testExtendHook, when set, injects a fault before a shard's Extend
-	// during Apply (test-only, mirroring the portfolio's hook: real
-	// extension failures require universe corruption).
-	testExtendHook func(shard int) error
+	// Crashloop policy; zero values select the package defaults. Written
+	// only through SetCrashLoopPolicy (write barrier), read under mu.
+	crashMaxRebuilds int
+	crashWindow      time.Duration
 }
 
 // poolShard is one warm session plus its routing state.
@@ -89,6 +106,19 @@ type poolShard struct {
 	// goarxivlint:lockfree
 	served    atomic.Uint64
 	cacheHits atomic.Uint64
+
+	// broken, when non-nil, excludes the shard from routing until a heal
+	// replaces it. Stored atomically because the panic-containment path
+	// runs under the shared side of the barrier; every other writer holds
+	// mu exclusively.
+	//
+	// goarxivlint:lockfree
+	broken atomic.Pointer[benchState]
+
+	// rebuilds timestamps recent heal attempts — the crashloop sliding
+	// window, inherited across shard replacements. Guarded by mu held
+	// exclusively.
+	rebuilds []time.Time
 }
 
 var _ Resolver = (*PoolResolver)(nil)
@@ -115,14 +145,30 @@ func NewPoolResolver(u *repo.Universe, n int, opts SessionOptions) *PoolResolver
 // NumShards returns the pool width.
 func (p *PoolResolver) NumShards() int { return len(p.shards) }
 
+// SetCrashLoopPolicy tunes the crashloop detector: a shard healed more
+// than maxRebuilds times inside window is sticky-benched (capacity loss!)
+// instead of rebuilt again. Zero (or negative) values select the defaults
+// (3 rebuilds in 30s). Takes the write barrier; call before or between
+// serving, not per request.
+//
+// goarxivlint:blocking cancel=none
+func (p *PoolResolver) SetCrashLoopPolicy(maxRebuilds int, window time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashMaxRebuilds = maxRebuilds
+	p.crashWindow = window
+}
+
 // Apply grows the shared universe by one append-only delta and broadcasts
 // it across the shards under the write barrier. The delta is applied to
 // the universe exactly once (a validation failure mutates nothing and
-// touches no shard). A shard whose in-place extension fails self-heals: it
-// is replaced by a fresh session over the already-grown universe — losing
-// its warmth, never its capacity — and the event is counted in
-// PoolStats.Rebuilds. Apply therefore fails only on delta validation, and
-// every shard serves at the returned epoch afterwards.
+// touches no shard). A shard whose in-place extension fails — or panics,
+// which the broadcast contains — self-heals: it is replaced by a fresh
+// session over the already-grown universe, losing its warmth, never its
+// capacity, and the event is counted in PoolStats.Rebuilds. Apply
+// therefore fails only on delta validation, and every non-sticky shard
+// serves at the returned epoch afterwards (a crashlooping shard stays
+// benched; see SetCrashLoopPolicy and Rebuild).
 //
 // goarxivlint:blocking cancel=none
 func (p *PoolResolver) Apply(d *Delta) (Epoch, error) {
@@ -133,22 +179,130 @@ func (p *PoolResolver) Apply(d *Delta) (Epoch, error) {
 		return p.u.Epoch(), err
 	}
 	p.epochA.Store(uint64(epoch))
-	for i, s := range p.shards {
-		err := error(nil)
-		if p.testExtendHook != nil {
-			err = p.testExtendHook(i)
+	for _, s := range p.shards {
+		if s.broken.Load() != nil {
+			// Already broken (a contained solve panic): the heal below
+			// re-encodes from the post-delta universe, so the delta need
+			// not be replayed into a session about to be discarded.
+			continue
 		}
-		if err == nil {
-			_, err = s.se.Extend(d)
-		}
-		if err != nil {
-			// Self-heal: a fresh session binds the post-delta universe, so
-			// it is already at the new epoch and must not replay the delta.
-			p.shards[i] = &poolShard{se: concretize.NewSession(p.u, p.opts)}
-			p.rebuilds.Add(1)
+		if err := p.extendShard(s, d); err != nil {
+			s.broken.Store(&benchState{err: err, panics: isContainedPanic(err)})
 		}
 	}
+	p.healBrokenLocked()
 	return epoch, nil
+}
+
+// extendShard extends one shard's skeleton with panic containment,
+// mirroring the portfolio's broadcast.
+func (p *PoolResolver) extendShard(s *poolShard, d *Delta) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &PanicError{Op: "pool/extend", Value: fmt.Sprint(rec), Stack: debug.Stack()}
+		}
+	}()
+	_, err = s.se.Extend(d)
+	return err
+}
+
+// Rebuild force-heals every broken shard — the operator override, also
+// resetting sticky (crashlooping) shards' windows the automatic paths
+// respect — and returns the healed shard names ("pool/2"). Nil when
+// nothing was broken.
+//
+// goarxivlint:blocking cancel=none
+func (p *PoolResolver) Rebuild() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var healed []string
+	for i, s := range p.shards {
+		b := s.broken.Load()
+		if b == nil {
+			continue
+		}
+		if b.sticky {
+			s.rebuilds = s.rebuilds[:0]
+		}
+		if p.healShardLocked(i, b) {
+			healed = append(healed, fmt.Sprintf("pool/%d", i))
+		}
+	}
+	return healed
+}
+
+// healBroken is the Resolve-entry heal: takes the write barrier and
+// rebuilds every broken, non-sticky shard.
+//
+// goarxivlint:blocking cancel=none
+func (p *PoolResolver) healBroken() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.healBrokenLocked()
+}
+
+// healBrokenLocked rebuilds every broken, non-sticky shard, crashloop-
+// bounded. Callers hold mu exclusively.
+func (p *PoolResolver) healBrokenLocked() {
+	pending := false
+	for i, s := range p.shards {
+		b := s.broken.Load()
+		if b == nil || b.sticky {
+			continue
+		}
+		p.healShardLocked(i, b)
+		if nb := p.shards[i].broken.Load(); nb != nil && !nb.sticky {
+			pending = true
+		}
+	}
+	p.healNeeded.Store(pending)
+}
+
+// healShardLocked attempts one contained rebuild of a broken shard,
+// counting the attempt against the crashloop window: over budget, the
+// shard goes sticky — a real capacity loss, reported through Stats, that
+// only an explicit Rebuild undoes. The replacement shard inherits the
+// window so a crashloop cannot reset itself by being rebuilt. Callers
+// hold mu exclusively.
+func (p *PoolResolver) healShardLocked(i int, b *benchState) bool {
+	s := p.shards[i]
+	maxRebuilds, window := crashPolicy(p.crashMaxRebuilds, p.crashWindow)
+	now := time.Now()
+	var over bool
+	s.rebuilds, over = crashWindowTrim(s.rebuilds, now, window, maxRebuilds)
+	if over {
+		s.broken.Store(&benchState{
+			err:    fmt.Errorf("resolve: pool shard %d crashlooping (%d rebuilds in %v): %w", i, len(s.rebuilds), window, b.err),
+			panics: b.panics,
+			sticky: true,
+		})
+		return false
+	}
+	s.rebuilds = append(s.rebuilds, now)
+	fresh := &poolShard{rebuilds: s.rebuilds}
+	if err := p.rebuildShardSession(i, fresh); err != nil {
+		s.broken.Store(&benchState{err: err, panics: true})
+		return false
+	}
+	p.shards[i] = fresh
+	p.rebuilds.Add(1)
+	return true
+}
+
+// rebuildShardSession encodes the replacement session with panic
+// containment: a rebuild that panics burns one crashloop attempt instead
+// of taking down the Apply or Resolve that triggered the heal.
+func (p *PoolResolver) rebuildShardSession(i int, fresh *poolShard) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &PanicError{Op: "pool/rebuild/" + strconv.Itoa(i), Value: fmt.Sprint(rec), Stack: debug.Stack()}
+		}
+	}()
+	if err := fpPoolRebuild.Inject(strconv.Itoa(i)); err != nil {
+		return err
+	}
+	fresh.se = concretize.NewSession(p.u, p.opts)
+	return nil
 }
 
 // Epoch returns the epoch of the shared universe, which every shard serves
@@ -168,33 +322,49 @@ func shapeShard(key string, n int) int {
 }
 
 // route picks the shard to serve a request with the given shape key:
-// any shard already holding the answer (home first), else the idle home,
-// else an idle shard to steal, else the busy home. Returns whether the
-// choice left the home shard (a steal) and whether the target's cache
-// held the answer at probe time. Callers hold p.mu shared.
-func (p *PoolResolver) route(home int, key string) (shard int, stolen, cached bool) {
-	if p.shards[home].se.HasCached(key) {
-		return home, false, true
+// any healthy shard already holding the answer (home first), else the
+// idle home, else an idle shard to steal, else the busy home — falling
+// back to any healthy shard when the home is broken, and reporting
+// ok=false when every shard is broken. Returns whether the choice left
+// the home shard (a steal) and whether the target's cache held the answer
+// at probe time. Callers hold p.mu shared.
+func (p *PoolResolver) route(home int, key string) (shard int, stolen, cached, ok bool) {
+	healthy := func(i int) bool { return p.shards[i].broken.Load() == nil }
+	if healthy(home) && p.shards[home].se.HasCached(key) {
+		return home, false, true, true
 	}
 	for i, s := range p.shards {
-		if i != home && s.se.HasCached(key) {
-			return i, true, true
+		if i != home && healthy(i) && s.se.HasCached(key) {
+			return i, true, true, true
 		}
 	}
-	if p.shards[home].inflight.Load() == 0 {
-		return home, false, false
+	if healthy(home) && p.shards[home].inflight.Load() == 0 {
+		return home, false, false, true
 	}
 	for i, s := range p.shards {
-		if i != home && s.inflight.Load() == 0 {
-			return i, true, false
+		if i != home && healthy(i) && s.inflight.Load() == 0 {
+			return i, true, false, true
 		}
 	}
-	return home, false, false
+	if healthy(home) {
+		return home, false, false, true
+	}
+	for i := range p.shards {
+		if healthy(i) {
+			return i, true, false, true
+		}
+	}
+	return 0, false, false, false
 }
 
 // Resolve implements Resolver: it routes the request to one shard —
 // shape-affine, cache-aware, stealing idle capacity — and solves there.
-// Result.Config names the serving shard ("pool/3").
+// Result.Config names the serving shard ("pool/3"). A shard that panics
+// mid-solve is contained: the request fails with the *PanicError, the
+// shard is excluded from routing and healed (fresh session) at the next
+// Apply or Resolve entry. With every shard broken — only reachable
+// through sticky crashloop benches — Resolve fail-stops with
+// ErrNoActiveMembers.
 //
 // goarxivlint:blocking
 func (p *PoolResolver) Resolve(ctx context.Context, req Request) (*Result, error) {
@@ -204,13 +374,19 @@ func (p *PoolResolver) Resolve(ctx context.Context, req Request) (*Result, error
 	if len(p.shards) == 0 {
 		return nil, fmt.Errorf("resolve: pool has no shards")
 	}
+	if p.healNeeded.Load() {
+		p.healBroken()
+	}
 	key := req.Key()
 	// Shared-mode barrier against Apply: requests proceed concurrently
 	// with each other, never interleaved with a half-broadcast delta.
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	home := shapeShard(key, len(p.shards))
-	idx, stolen, cached := p.route(home, key)
+	idx, stolen, cached, ok := p.route(home, key)
+	if !ok {
+		return nil, ErrNoActiveMembers
+	}
 	s := p.shards[idx]
 	if cached {
 		p.hits.Add(1)
@@ -222,10 +398,7 @@ func (p *PoolResolver) Resolve(ctx context.Context, req Request) (*Result, error
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	res, err := s.se.Resolve(ctx, req.Roots, concretize.Options{
-		MaxConflicts: req.MaxConflicts,
-		Objective:    req.Objective,
-	})
+	res, err := p.solveShard(ctx, idx, s, req)
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +407,29 @@ func (p *PoolResolver) Resolve(ctx context.Context, req Request) (*Result, error
 		s.cacheHits.Add(1)
 	}
 	return &Result{Picks: res.Picks, Stats: res.Stats, Config: fmt.Sprintf("pool/%d", idx)}, nil
+}
+
+// solveShard runs one shard's solve with panic containment: a panicking
+// shard is marked broken — excluded from routing, healed at the next
+// Apply or Resolve entry — and the request fails with the contained
+// *PanicError rather than crashing the daemon.
+func (p *PoolResolver) solveShard(ctx context.Context, idx int, s *poolShard, req Request) (res *concretize.Resolution, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			perr := &PanicError{Op: "pool/" + strconv.Itoa(idx), Value: fmt.Sprint(rec), Stack: debug.Stack()}
+			s.broken.Store(&benchState{err: perr, panics: true})
+			p.panics.Add(1)
+			p.healNeeded.Store(true)
+			res, err = nil, perr
+		}
+	}()
+	if err := fpPoolSolve.Inject(strconv.Itoa(idx)); err != nil {
+		return nil, err
+	}
+	return s.se.Resolve(ctx, req.Roots, concretize.Options{
+		MaxConflicts: req.MaxConflicts,
+		Objective:    req.Objective,
+	})
 }
 
 // ShardStats reports one shard's serving state: how much it has answered,
@@ -248,6 +444,11 @@ type ShardStats struct {
 	// Inflight is the number of requests solving or queued on this shard
 	// at snapshot time.
 	Inflight int64
+	// Broken marks a shard excluded from routing (contained panic or
+	// failed rebuild); CrashLoop marks the sticky subset that exhausted
+	// the rebuild budget.
+	Broken    bool
+	CrashLoop bool
 	// Encoding is the shard session's encoder-coverage snapshot.
 	Encoding EncodingStats
 }
@@ -259,11 +460,15 @@ type PoolStats struct {
 	// Hits counts requests routed to a shard that already held the answer
 	// (home or stolen); Steals requests served off their home shard;
 	// Waits requests that queued behind an in-flight solve; Rebuilds
-	// shards replaced after a failed Apply extension.
+	// shards replaced after a failed Apply extension or a contained
+	// panic; Panics panics contained at the solve boundary; Broken shards
+	// currently out of routing.
 	Hits     uint64
 	Steals   uint64
 	Waits    uint64
 	Rebuilds uint64
+	Panics   uint64
+	Broken   int
 	// Shard holds per-shard counters, in shard order.
 	Shard []ShardStats
 }
@@ -280,14 +485,21 @@ func (p *PoolResolver) Stats() PoolStats {
 		Steals:   p.steals.Load(),
 		Waits:    p.waits.Load(),
 		Rebuilds: p.rebuilds.Load(),
+		Panics:   p.panics.Load(),
 	}
 	for _, s := range p.shards {
-		st.Shard = append(st.Shard, ShardStats{
+		ss := ShardStats{
 			Served:    s.served.Load(),
 			CacheHits: s.cacheHits.Load(),
 			Inflight:  s.inflight.Load(),
 			Encoding:  s.se.EncodingStats(),
-		})
+		}
+		if b := s.broken.Load(); b != nil {
+			ss.Broken = true
+			ss.CrashLoop = b.sticky
+			st.Broken++
+		}
+		st.Shard = append(st.Shard, ss)
 	}
 	return st
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/paper-repo-growth/go-arxiv/internal/concretize"
+	"github.com/paper-repo-growth/go-arxiv/internal/faultpoint"
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
 )
 
@@ -83,15 +84,15 @@ func TestPoolRouting(t *testing.T) {
 	home := shapeShard(key, 3)
 
 	// All idle, nothing cached: home solves.
-	if got, stolen, cached := p.route(home, key); got != home || stolen || cached {
-		t.Fatalf("idle route = (%d,%v,%v), want home %d", got, stolen, cached, home)
+	if got, stolen, cached, ok := p.route(home, key); got != home || stolen || cached || !ok {
+		t.Fatalf("idle route = (%d,%v,%v,%v), want home %d", got, stolen, cached, ok, home)
 	}
 
 	// Home busy, others idle: steal an idle shard.
 	p.shards[home].inflight.Add(1)
-	got, stolen, cached := p.route(home, key)
-	if got == home || !stolen || cached {
-		t.Fatalf("busy-home route = (%d,%v,%v), want a steal", got, stolen, cached)
+	got, stolen, cached, ok := p.route(home, key)
+	if got == home || !stolen || cached || !ok {
+		t.Fatalf("busy-home route = (%d,%v,%v,%v), want a steal", got, stolen, cached, ok)
 	}
 
 	// Everything busy: queue on home.
@@ -100,8 +101,8 @@ func TestPoolRouting(t *testing.T) {
 			p.shards[i].inflight.Add(1)
 		}
 	}
-	if got, stolen, _ := p.route(home, key); got != home || stolen {
-		t.Fatalf("all-busy route = (%d,%v), want the home queue", got, stolen)
+	if got, stolen, _, ok := p.route(home, key); got != home || stolen || !ok {
+		t.Fatalf("all-busy route = (%d,%v,%v), want the home queue", got, stolen, ok)
 	}
 	for i := range p.shards {
 		p.shards[i].inflight.Add(-1)
@@ -113,8 +114,8 @@ func TestPoolRouting(t *testing.T) {
 		t.Fatalf("prime other shard: %v", err)
 	}
 	p.shards[other].inflight.Add(1)
-	if got, stolen, cached := p.route(home, key); got != other || !stolen || !cached {
-		t.Fatalf("cached-elsewhere route = (%d,%v,%v), want shard %d cached", got, stolen, cached, other)
+	if got, stolen, cached, ok := p.route(home, key); got != other || !stolen || !cached || !ok {
+		t.Fatalf("cached-elsewhere route = (%d,%v,%v,%v), want shard %d cached", got, stolen, cached, ok, other)
 	}
 	p.shards[other].inflight.Add(-1)
 
@@ -122,8 +123,23 @@ func TestPoolRouting(t *testing.T) {
 	if _, err := p.shards[home].se.Resolve(context.Background(), req.Roots, concretizeOptions(req)); err != nil {
 		t.Fatalf("prime home shard: %v", err)
 	}
-	if got, stolen, cached := p.route(home, key); got != home || stolen || !cached {
-		t.Fatalf("cached-home route = (%d,%v,%v), want home cached", got, stolen, cached)
+	if got, stolen, cached, ok := p.route(home, key); got != home || stolen || !cached || !ok {
+		t.Fatalf("cached-home route = (%d,%v,%v,%v), want home cached", got, stolen, cached, ok)
+	}
+
+	// A broken home falls back to a healthy shard at every tier.
+	p.shards[home].broken.Store(&benchState{err: fmt.Errorf("injected")})
+	if got, _, _, ok := p.route(home, key); got == home || !ok {
+		t.Fatalf("broken-home route = (%d,%v), want a healthy fallback", got, ok)
+	}
+	for i := range p.shards {
+		p.shards[i].broken.Store(&benchState{err: fmt.Errorf("injected")})
+	}
+	if _, _, _, ok := p.route(home, key); ok {
+		t.Fatal("all-broken route reported ok")
+	}
+	for i := range p.shards {
+		p.shards[i].broken.Store(nil)
 	}
 }
 
@@ -179,12 +195,10 @@ func TestPoolApplyRebuildsFailedShard(t *testing.T) {
 		t.Fatalf("warm: %v", err)
 	}
 
-	p.testExtendHook = func(shard int) error {
-		if shard == 1 {
-			return fmt.Errorf("injected extend fault")
-		}
-		return nil
-	}
+	// Shards extend in index order during the broadcast: skip shard 0,
+	// fault shard 1, and the schedule exhausts (auto-disarming) before
+	// shard 2.
+	armFault(t, "concretize/extend", faultpoint.Skip(1), faultpoint.Error(1, nil))
 	d := NewDelta()
 	d.Add("reg150", "9.0")
 	epoch, err := p.Apply(d)
@@ -251,17 +265,14 @@ func TestPoolHammer(t *testing.T) {
 		}()
 	}
 
+	t.Cleanup(faultpoint.DisarmAll)
 	for i := 0; i < 20; i++ {
 		if i%3 == 2 {
-			i := i
-			p.testExtendHook = func(shard int) error {
-				if shard == i%4 {
-					return fmt.Errorf("injected fault")
-				}
-				return nil
+			// Fault shard i%4 during this broadcast: shards extend in index
+			// order, and the exhausted schedule auto-disarms afterwards.
+			if err := faultpoint.Arm("concretize/extend", faultpoint.Any(faultpoint.Skip(i%4), faultpoint.Error(1, nil))); err != nil {
+				t.Fatal(err)
 			}
-		} else {
-			p.testExtendHook = nil
 		}
 		d := NewDelta()
 		d.Add(fmt.Sprintf("reg%d", (i*53)%400), fmt.Sprintf("%d.0", 100+i))
@@ -288,16 +299,14 @@ func TestPoolHammer(t *testing.T) {
 func TestPortfolioRebuild(t *testing.T) {
 	u, root := repo.SynthDiamond(3, 4)
 	p := mustPortfolio(t, u)
-	p.testExtendHook = func(member string) error {
-		if member == "positive" || member == "steady" {
-			return fmt.Errorf("injected extend fault")
-		}
-		return nil
-	}
+	// Members extend in racing order (baseline, positive, dive, steady):
+	// fault the second and fourth, then the exhausted schedule auto-disarms.
+	armFault(t, "concretize/extend",
+		faultpoint.Skip(1), faultpoint.Error(1, nil),
+		faultpoint.Skip(1), faultpoint.Error(1, nil))
 	if _, err := p.Apply(diamondDelta()); err == nil {
 		t.Fatal("faulted broadcast returned nil error")
 	}
-	p.testExtendHook = nil
 
 	healed := p.Rebuild()
 	if len(healed) != 2 || healed[0] != "positive" || healed[1] != "steady" {

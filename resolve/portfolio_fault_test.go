@@ -2,18 +2,30 @@ package resolve
 
 // White-box fault-injection tests for the Apply broadcast path: the
 // production failure mode (a member Extend failing mid-broadcast) is only
-// reachable through universe corruption, so testExtendHook simulates it.
+// reachable through universe corruption, so the concretize/extend
+// faultpoint simulates it (members extend in racing order — baseline,
+// positive, dive, steady — so a Skip/Error schedule targets one member).
 // These pin the quarantine contract introduced by the partial-broadcast
 // bugfix: a failed member is benched, not left racing at a stale epoch.
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"testing"
 
+	"github.com/paper-repo-growth/go-arxiv/internal/faultpoint"
 	"github.com/paper-repo-growth/go-arxiv/internal/repo"
 )
+
+// armFault arms one faultpoint site with a single anonymous rule and
+// disarms everything at test end (schedules are process-global).
+func armFault(t *testing.T, site string, steps ...faultpoint.Step) {
+	t.Helper()
+	t.Cleanup(faultpoint.DisarmAll)
+	if err := faultpoint.Arm(site, faultpoint.Any(steps...)); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func diamondDelta() *Delta {
 	d := NewDelta()
@@ -28,12 +40,7 @@ func diamondDelta() *Delta {
 func TestPortfolioApplyQuarantinesFailedMember(t *testing.T) {
 	u, root := repo.SynthDiamond(3, 4)
 	p := mustPortfolio(t, u)
-	p.testExtendHook = func(member string) error {
-		if member == "positive" {
-			return fmt.Errorf("injected extend fault")
-		}
-		return nil
-	}
+	armFault(t, "concretize/extend", faultpoint.Skip(1), faultpoint.Error(1, nil))
 
 	epoch, err := p.Apply(diamondDelta())
 	if epoch != 1 {
@@ -105,9 +112,7 @@ func TestPortfolioApplyQuarantinesFailedMember(t *testing.T) {
 func TestPortfolioAllQuarantinedFailStops(t *testing.T) {
 	u, root := repo.SynthDiamond(3, 4)
 	p := mustPortfolio(t, u)
-	p.testExtendHook = func(member string) error {
-		return fmt.Errorf("injected extend fault for %s", member)
-	}
+	armFault(t, "concretize/extend", faultpoint.Error(0, nil))
 
 	epoch, err := p.Apply(diamondDelta())
 	if epoch != 1 {
@@ -128,18 +133,14 @@ func TestPortfolioAllQuarantinedFailStops(t *testing.T) {
 func TestPortfolioQuarantineSticks(t *testing.T) {
 	u, _ := repo.SynthDiamond(3, 4)
 	p := mustPortfolio(t, u)
-	fail := true
-	p.testExtendHook = func(member string) error {
-		if fail && member == "steady" {
-			return fmt.Errorf("injected extend fault")
-		}
-		return nil
-	}
+	// Fault only "steady" (fourth in racing order); the schedule exhausts
+	// and auto-disarms, so the second Apply runs fault-free.
+	armFault(t, "concretize/extend", faultpoint.Skip(3), faultpoint.Error(1, nil))
 
 	if _, err := p.Apply(diamondDelta()); err == nil {
 		t.Fatal("want broadcast error")
 	}
-	fail = false // the fault is gone — but the member already missed a delta
+	// The fault is gone — but the member already missed a delta.
 
 	d2 := NewDelta()
 	d2.Add("app", "100.0", repo.Dep("mid0", ":"))

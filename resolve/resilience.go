@@ -1,0 +1,87 @@
+package resolve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/paper-repo-growth/go-arxiv/internal/faultpoint"
+)
+
+// Fault-injection sites (see internal/faultpoint for the naming
+// convention). The solve sites label injections with the dynamic instance
+// — the portfolio member name, the pool shard index — so schedules can
+// target "member 'dive' panics" without a site per member.
+var (
+	fpPortfolioSolve   = faultpoint.New("resolve/portfolio/solve")
+	fpPortfolioRebuild = faultpoint.New("resolve/portfolio/rebuild")
+	fpPoolSolve        = faultpoint.New("resolve/pool/solve")
+	fpPoolRebuild      = faultpoint.New("resolve/pool/rebuild")
+)
+
+// PanicError reports a panic contained at a resolver boundary: instead of
+// crashing the process, the panicking member or shard is benched with this
+// error (stack included) and healed through the rebuild paths. It is the
+// daemon tier's signal that an answer failed for a recoverable internal
+// reason — retry-worthy, unlike the taxonomy's definitive answers
+// (unsat, unknown package, budget).
+type PanicError struct {
+	// Op names the boundary that contained the panic: "portfolio/<member>",
+	// "pool/<shard>", "portfolio/rebuild/<member>", "serve/backend".
+	Op string
+	// Value is the panic value, stringified at capture.
+	Value string
+	// Stack is the panicking goroutine's stack at capture.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resolve: panic contained at %s: %s", e.Op, e.Value)
+}
+
+// benchState is why a member or shard is out of service. nil (no state)
+// means healthy and serving; the pointer is stored atomically so the
+// panic-containment path — which runs under the shared side of the
+// Apply barrier — can bench without the write lock.
+type benchState struct {
+	err    error // the benching failure
+	panics bool  // benched by a contained panic: eligible for auto-heal
+	sticky bool  // crashlooping: auto-heal skips it (explicit Rebuild overrides)
+}
+
+// Crashloop policy defaults: more than defaultCrashLoopRebuilds heal
+// attempts inside defaultCrashLoopWindow benches the member or shard
+// sticky. See PortfolioResolver.SetCrashLoopPolicy.
+const (
+	defaultCrashLoopRebuilds = 3
+	defaultCrashLoopWindow   = 30 * time.Second
+)
+
+// crashPolicy normalizes configured crashloop knobs onto the defaults.
+func crashPolicy(maxRebuilds int, window time.Duration) (int, time.Duration) {
+	if maxRebuilds <= 0 {
+		maxRebuilds = defaultCrashLoopRebuilds
+	}
+	if window <= 0 {
+		window = defaultCrashLoopWindow
+	}
+	return maxRebuilds, window
+}
+
+// crashWindowTrim drops heal-attempt timestamps older than the window and
+// reports whether the next attempt would exceed the budget.
+func crashWindowTrim(attempts []time.Time, now time.Time, window time.Duration, maxRebuilds int) ([]time.Time, bool) {
+	keep := attempts[:0]
+	for _, t := range attempts {
+		if now.Sub(t) < window {
+			keep = append(keep, t)
+		}
+	}
+	return keep, len(keep) >= maxRebuilds
+}
+
+// isContainedPanic reports whether err carries a contained panic.
+func isContainedPanic(err error) bool {
+	var pe *PanicError
+	return errors.As(err, &pe)
+}

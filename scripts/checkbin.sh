@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# checkbin.sh — fail when any committed file is a compiled binary.
+#
+# A stray `go test -c` artifact or compiled tool committed to the tree
+# bloats every clone forever (git history is append-only). This guard
+# scans every tracked file's magic bytes for the common executable
+# formats: ELF (Linux), Mach-O (macOS, thin and fat), and PE (Windows).
+# Shell scripts and other executable-bit text files are fine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bad=0
+while IFS= read -r f; do
+    [ -f "$f" ] || continue
+    magic=$(head -c 4 "$f" | od -An -tx1 | tr -d ' \n')
+    case "$magic" in
+        7f454c46)          kind="ELF" ;;          # \x7fELF
+        feedface|feedfacf) kind="Mach-O" ;;       # 32/64-bit
+        cefaedfe|cffaedfe) kind="Mach-O (LE)" ;;
+        cafebabe|bebafeca) kind="Mach-O fat" ;;
+        4d5a????)          kind="PE" ;;           # MZ header
+        *) continue ;;
+    esac
+    echo "checkbin: committed binary ($kind): $f" >&2
+    bad=1
+done < <(git ls-files)
+
+if [ "$bad" -ne 0 ]; then
+    echo "checkbin: remove the binaries above from the index (git rm --cached) and rebuild them locally instead" >&2
+    exit 1
+fi
+echo "checkbin: no committed binaries"

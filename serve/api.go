@@ -46,13 +46,18 @@ type StatsResponse struct {
 	Coalesced        bool  `json:"coalesced"`
 }
 
-// ResolveResponse is the wire form of a successful resolution.
+// ResolveResponse is the wire form of a successful resolution. Degraded
+// marks a stale-answer response: the backend could not answer, so the
+// last-known-good resolution for this request shape was served — Epoch is
+// then the (older) epoch that answer was computed at, bounded by the
+// server's staleness policy, not the current universe epoch.
 type ResolveResponse struct {
 	Picks     map[string]string `json:"picks"`
 	Cost      int64             `json:"cost"`
 	Optimal   bool              `json:"optimal"`
 	Config    string            `json:"config"`
 	Epoch     uint64            `json:"epoch"`
+	Degraded  bool              `json:"degraded,omitempty"`
 	Coalesced bool              `json:"coalesced"`
 	Stats     StatsResponse     `json:"stats"`
 }
@@ -93,11 +98,20 @@ type ApplyResponse struct {
 }
 
 // MemberHealthResponse is one portfolio member's state in GET /v1/stats.
+// CrashLoop marks a sticky bench: the member exhausted its rebuild budget
+// and stays out until POST /v1/rebuild.
 type MemberHealthResponse struct {
 	Name        string `json:"name"`
 	Quarantined bool   `json:"quarantined"`
+	CrashLoop   bool   `json:"crashloop,omitempty"`
 	Epoch       uint64 `json:"epoch"`
 	Error       string `json:"error,omitempty"`
+}
+
+// RebuildResponse is the wire form of POST /v1/rebuild: the members or
+// shards the operator override healed (empty when nothing was benched).
+type RebuildResponse struct {
+	Healed []string `json:"healed"`
 }
 
 // EncodingResponse is one backend session's encoder-coverage snapshot in
@@ -118,6 +132,8 @@ type ShardStatsResponse struct {
 	CacheHits uint64           `json:"cache_hits"`
 	HitRate   float64          `json:"hit_rate"`
 	Inflight  int64            `json:"inflight"`
+	Broken    bool             `json:"broken,omitempty"`
+	CrashLoop bool             `json:"crashloop,omitempty"`
 	Encoding  EncodingResponse `json:"encoding"`
 }
 
@@ -129,6 +145,8 @@ type PoolStatsResponse struct {
 	Steals   uint64               `json:"steals"`
 	Waits    uint64               `json:"waits"`
 	Rebuilds uint64               `json:"rebuilds"`
+	Panics   uint64               `json:"panics"`
+	Broken   int                  `json:"broken"`
 	Shard    []ShardStatsResponse `json:"shard"`
 }
 
@@ -145,6 +163,10 @@ type ServerStats struct {
 	Timeouts  int64 `json:"timeouts"`
 	Failures  int64 `json:"failures"`
 	Applies   int64 `json:"applies"`
+	Degraded  int64 `json:"degraded"`
+	Retries   int64 `json:"retries"`
+	Panics    int64 `json:"panics"`
+	Rebuilds  int64 `json:"rebuilds"`
 
 	P50Ms       float64 `json:"latency_p50_ms"`
 	P90Ms       float64 `json:"latency_p90_ms"`
@@ -154,10 +176,12 @@ type ServerStats struct {
 	Queued      int     `json:"queued"`
 	MaxInflight int     `json:"max_inflight"`
 
-	Epoch    uint64                 `json:"epoch"`
-	Members  []MemberHealthResponse `json:"members,omitempty"`
-	Encoding *EncodingResponse      `json:"encoding,omitempty"`
-	Pool     *PoolStatsResponse     `json:"pool,omitempty"`
+	Epoch         uint64                 `json:"epoch"`
+	StaleCacheLen int                    `json:"stale_cache_len"`
+	Faultpoints   []string               `json:"faultpoints,omitempty"`
+	Members       []MemberHealthResponse `json:"members,omitempty"`
+	Encoding      *EncodingResponse      `json:"encoding,omitempty"`
+	Pool          *PoolStatsResponse     `json:"pool,omitempty"`
 }
 
 // ErrorResponse is the wire form of every non-2xx answer. Kind is a stable
@@ -287,10 +311,17 @@ func orAny(rng string) string {
 	return rng
 }
 
+// isPanicError reports whether err carries a contained panic.
+func isPanicError(err error) bool {
+	var pe *resolve.PanicError
+	return errors.As(err, &pe)
+}
+
 // errorStatus maps the resolver's typed error taxonomy onto HTTP: request
 // defects are 4xx, capacity and deadline outcomes distinct 429/503/504,
-// everything else 500. Attribution (unsat roots, portfolio member) rides
-// in the body so operators can tell *which* configuration proved unsat.
+// contained panics 500 with kind "panic", everything else 500. Attribution
+// (unsat roots, portfolio member) rides in the body so operators can tell
+// *which* configuration proved unsat.
 func errorStatus(err error) (int, ErrorResponse) {
 	resp := ErrorResponse{Error: err.Error()}
 	var me *resolve.MemberError
@@ -327,6 +358,9 @@ func errorStatus(err error) (int, ErrorResponse) {
 	case errors.Is(err, resolve.ErrNoActiveMembers):
 		resp.Kind = "no_members"
 		return http.StatusServiceUnavailable, resp
+	case isPanicError(err):
+		resp.Kind = "panic"
+		return http.StatusInternalServerError, resp
 	default:
 		resp.Kind = "internal"
 		return http.StatusInternalServerError, resp

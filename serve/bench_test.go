@@ -18,12 +18,12 @@ func BenchmarkDaemonResolveWarm(b *testing.B) {
 	u, root := repo.SynthDense(64, 8, 3, 42)
 	s := New(resolve.NewSessionResolver(u, resolve.SessionOptions{}), Options{})
 	req := resolve.Request{Roots: []resolve.Root{{Pkg: root}}, Objective: resolve.NewestVersion()}
-	if _, err := s.resolve(context.Background(), req, 10*time.Second); err != nil {
+	if _, _, err := s.resolve(context.Background(), req, 10*time.Second); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.resolve(context.Background(), req, 10*time.Second); err != nil {
+		if _, _, err := s.resolve(context.Background(), req, 10*time.Second); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -36,14 +36,14 @@ func BenchmarkDaemonResolveStorm(b *testing.B) {
 	u, root := repo.SynthDense(64, 8, 3, 42)
 	s := New(resolve.NewSessionResolver(u, resolve.SessionOptions{}), Options{})
 	req := resolve.Request{Roots: []resolve.Root{{Pkg: root}}, Objective: resolve.NewestVersion()}
-	if _, err := s.resolve(context.Background(), req, 10*time.Second); err != nil {
+	if _, _, err := s.resolve(context.Background(), req, 10*time.Second); err != nil {
 		b.Fatal(err)
 	}
 	var failed atomic.Bool
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := s.resolve(context.Background(), req, 10*time.Second); err != nil {
+			if _, _, err := s.resolve(context.Background(), req, 10*time.Second); err != nil {
 				failed.Store(true)
 				return
 			}

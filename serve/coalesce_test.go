@@ -152,7 +152,7 @@ func TestCoalesceEpochKeying(t *testing.T) {
 	req := resolve.Request{Roots: []resolve.Root{{Pkg: "pkg"}}}
 	done := make(chan error, 2)
 	go func() {
-		_, err := s.resolve(context.Background(), req, 10*time.Second)
+		_, _, err := s.resolve(context.Background(), req, 10*time.Second)
 		done <- err
 	}()
 	// Wait for the leader to be in flight.
@@ -165,7 +165,7 @@ func TestCoalesceEpochKeying(t *testing.T) {
 	// A post-delta arrival must start a fresh flight (it would otherwise
 	// inherit a pre-delta answer).
 	go func() {
-		_, err := s.resolve(context.Background(), req, 10*time.Second)
+		_, _, err := s.resolve(context.Background(), req, 10*time.Second)
 		done <- err
 	}()
 	waitFor(t, func() bool { return b.solves.Load() == 2 })
@@ -197,7 +197,7 @@ func TestCoalescedPicksOwnership(t *testing.T) {
 	outs := make(chan out, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			res, err := s.resolve(context.Background(), req, 10*time.Second)
+			res, _, err := s.resolve(context.Background(), req, 10*time.Second)
 			outs <- out{res, err}
 		}()
 	}

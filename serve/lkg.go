@@ -1,0 +1,83 @@
+package serve
+
+// The last-known-good cache behind degraded mode: the most recent optimal
+// answer per request shape, bounded LRU. When the backend cannot answer —
+// every member benched, admission shedding, retries exhausted — the daemon
+// serves the cached answer instead of a 5xx, stamped degraded and carrying
+// the epoch it was computed at, provided that epoch is within the
+// configured staleness bound of the current universe.
+//
+// The staleness contract is conservative by construction: an entry's epoch
+// is the epoch its resolve reported (Stats.Epoch), so the answer was
+// exactly right at that epoch. Deltas are append-only, which means a stale
+// answer is still a *consistent* resolution of the universe as of its
+// epoch — it may miss newer versions, it cannot name things that never
+// existed. Callers see exactly how stale through the response epoch.
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/paper-repo-growth/go-arxiv/resolve"
+)
+
+// lkgCache is a bounded LRU of last-known-good results keyed by request
+// shape (resolve.Request.Key). Safe for concurrent use.
+type lkgCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	byKey map[string]*list.Element
+}
+
+type lkgEntry struct {
+	key string
+	res *resolve.Result
+}
+
+func newLKGCache(capacity int) *lkgCache {
+	return &lkgCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// put records the latest good answer for a shape, evicting the least
+// recently used entry past capacity. The result must not be mutated after
+// insertion (the serving path hands copies to callers).
+func (c *lkgCache) put(key string, res *resolve.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lkgEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lkgEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*lkgEntry).key)
+	}
+}
+
+// get returns the cached answer for a shape (nil when absent), refreshing
+// its recency.
+func (c *lkgCache) get(key string) *resolve.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lkgEntry).res
+}
+
+// len reports the number of cached shapes.
+func (c *lkgCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

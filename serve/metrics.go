@@ -30,6 +30,10 @@ type metrics struct {
 	timeouts  atomic.Int64 // requests that exhausted their deadline
 	failures  atomic.Int64 // other errors (budget, internal, bad request)
 	applies   atomic.Int64 // /v1/apply deltas absorbed
+	degraded  atomic.Int64 // stale last-known-good answers served
+	retries   atomic.Int64 // backend solves retried after a transient failure
+	panics    atomic.Int64 // panics contained at the serving boundary
+	rebuilds  atomic.Int64 // backend rebuilds (retry-path self-heal + /v1/rebuild)
 
 	ewmaNs atomic.Int64 // EWMA of backend solve latency, nanoseconds
 

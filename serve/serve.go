@@ -41,9 +41,12 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"github.com/paper-repo-growth/go-arxiv/internal/faultpoint"
 	"github.com/paper-repo-growth/go-arxiv/internal/version"
 	"github.com/paper-repo-growth/go-arxiv/resolve"
 )
@@ -100,6 +103,30 @@ type Options struct {
 
 	// MaxTimeout caps client-requested timeouts. Zero selects 60s.
 	MaxTimeout time.Duration
+
+	// MaxRetries bounds how many times a leader solve is retried after a
+	// transient backend failure (contained panic, fully-benched backend,
+	// unexplained member error) before the failure surfaces. Zero selects
+	// 2; negative disables retries.
+	MaxRetries int
+
+	// RetryBackoff is the base of the jittered exponential backoff between
+	// retries (base, 2*base, 4*base, ..., each +-50%). Zero selects 5ms.
+	// Every sleep is budgeted against the request deadline: a retry whose
+	// backoff plus expected solve would overrun it surfaces the failure
+	// instead.
+	RetryBackoff time.Duration
+
+	// MaxStaleEpochs bounds degraded mode: a last-known-good answer is
+	// served only when the epoch it was computed at is within this many
+	// epochs of the current universe. Zero selects 64; negative disables
+	// degraded mode entirely.
+	MaxStaleEpochs int
+
+	// StaleCacheSize bounds the last-known-good cache (request shapes,
+	// LRU). Zero selects 1024; negative disables the cache (and with it
+	// degraded mode).
+	StaleCacheSize int
 }
 
 // Server is the HTTP daemon over one backend. Create with New, expose via
@@ -115,6 +142,10 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 	metrics  metrics
+
+	// lkg is the last-known-good answer cache behind degraded mode; nil
+	// when disabled (Options.StaleCacheSize < 0).
+	lkg *lkgCache
 }
 
 // New builds a Server over the backend.
@@ -134,10 +165,28 @@ func New(b Backend, opts Options) *Server {
 	if opts.MaxTimeout <= 0 {
 		opts.MaxTimeout = 60 * time.Second
 	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 5 * time.Millisecond
+	}
+	if opts.MaxStaleEpochs == 0 {
+		opts.MaxStaleEpochs = 64
+	}
+	if opts.StaleCacheSize == 0 {
+		opts.StaleCacheSize = 1024
+	}
 	s := &Server{
 		backend: b,
 		opts:    opts,
 		sem:     make(chan struct{}, opts.MaxInflight),
+	}
+	if opts.StaleCacheSize > 0 {
+		s.lkg = newLKGCache(opts.StaleCacheSize)
 	}
 	// Count followers the moment they attach: an in-flight storm is then
 	// visible in /v1/stats while the leader is still solving.
@@ -145,6 +194,7 @@ func New(b Backend, opts Options) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/resolve", s.handleResolve)
 	mux.HandleFunc("POST /v1/apply", s.handleApply)
+	mux.HandleFunc("POST /v1/rebuild", s.handleRebuild)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -179,13 +229,16 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.requests.Add(1)
 	start := time.Now()
-	res, err := s.resolve(r.Context(), req, s.timeout(wr.TimeoutMS))
+	res, degraded, err := s.resolve(r.Context(), req, s.timeout(wr.TimeoutMS))
 	s.metrics.observeLatency(time.Since(start))
 	if err != nil {
 		status, resp := errorStatus(err)
 		switch resp.Kind {
 		case "shed":
 			s.metrics.shed.Add(1)
+			// Tell the client when capacity is expected: the estimated
+			// queue wait at current depth, rounded up to whole seconds.
+			w.Header().Set("Retry-After", retryAfterSeconds(s.estimatedWait(s.queued.Load())))
 		case "timeout":
 			s.metrics.timeouts.Add(1)
 		case "unsat":
@@ -206,6 +259,7 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		Optimal:   res.Stats.Optimal,
 		Config:    res.Config,
 		Epoch:     uint64(res.Stats.Epoch),
+		Degraded:  degraded,
 		Coalesced: res.Stats.Coalesced,
 		Stats: StatsResponse{
 			Packages:         res.Stats.Packages,
@@ -223,9 +277,12 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 
 // resolve is the serving pipeline for one request: coalesce onto an
 // in-flight identical solve when one exists, otherwise lead — pass
-// admission, run the backend under the request deadline — and hand every
-// caller its own copy of the shared result.
-func (s *Server) resolve(ctx context.Context, req resolve.Request, timeout time.Duration) (*resolve.Result, error) {
+// admission, run the backend under the request deadline with retries —
+// and hand every caller its own copy of the shared result. When the
+// pipeline fails for a degradable reason (shed, or transient after the
+// retry budget), a fresh-enough last-known-good answer for the shape is
+// served instead, reported through the degraded flag.
+func (s *Server) resolve(ctx context.Context, req resolve.Request, timeout time.Duration) (_ *resolve.Result, degraded bool, _ error) {
 	// The follower's wait (and the fast-path shed check) run under the
 	// caller's context; the leader's solve runs detached below so a
 	// disconnecting leader client cannot kill the answer its followers
@@ -248,28 +305,116 @@ func (s *Server) resolve(ctx context.Context, req resolve.Request, timeout time.
 		// which every sharer also enforces on its own wait — may stop it.
 		sctx, scancel := context.WithTimeout(context.WithoutCancel(ctx), timeout)
 		defer scancel()
-		t0 := time.Now()
-		r, rerr := s.backend.Resolve(sctx, req)
-		s.metrics.observeSolve(time.Since(t0))
-		if rerr == nil {
-			if r.Stats.SolutionCacheHit {
-				s.metrics.cacheHits.Add(1)
-			}
-			if r.Stats.BoundMemoHit {
-				s.metrics.memoHits.Add(1)
-			}
-		}
-		return r, rerr
+		return s.solveBackend(sctx, req)
 	})
 	if err != nil {
-		return nil, err
+		if stale := s.staleAnswer(req, err); stale != nil {
+			return stale, true, nil
+		}
+		return nil, false, err
 	}
 	// Every caller — leader included — gets its own copy; the flight's
 	// result stays pristine for concurrent followers (ownership contract:
 	// Result.Picks is caller-owned and mutable).
 	out := copyResult(res)
 	out.Stats.Coalesced = coalesced
-	return out, nil
+	return out, false, nil
+}
+
+// solveBackend is one leader's backend conversation: the contained call,
+// retried on transient failures with jittered backoff, every sleep
+// budgeted against the deadline (a retry that cannot finish in time
+// surfaces the failure instead of burning the caller's budget). A
+// fully-benched backend is rebuilt before the retry — the self-heal that
+// turns "every member crashed" back into capacity.
+func (s *Server) solveBackend(ctx context.Context, req resolve.Request) (*resolve.Result, error) {
+	for attempt := 0; ; attempt++ {
+		r, err := s.callBackend(ctx, req)
+		if err == nil {
+			if r.Stats.SolutionCacheHit {
+				s.metrics.cacheHits.Add(1)
+			}
+			if r.Stats.BoundMemoHit {
+				s.metrics.memoHits.Add(1)
+			}
+			// Every optimal answer refreshes the shape's last-known-good
+			// entry; its Stats.Epoch states the epoch it was right at.
+			if s.lkg != nil && r.Stats.Optimal {
+				s.lkg.put(req.Key(), r)
+			}
+			return r, nil
+		}
+		if attempt >= s.opts.MaxRetries || !transient(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		if errors.Is(err, resolve.ErrNoActiveMembers) {
+			if rb, ok := s.backend.(rebuilder); ok {
+				rb.Rebuild()
+				s.metrics.rebuilds.Add(1)
+			}
+		}
+		delay := retryDelay(s.opts.RetryBackoff, attempt)
+		if dl, ok := ctx.Deadline(); ok {
+			// The retry must fit its backoff plus an expected solve.
+			if time.Until(dl) < delay+time.Duration(s.metrics.ewmaNs.Load()) {
+				return nil, err
+			}
+		}
+		s.metrics.retries.Add(1)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, err
+		}
+	}
+}
+
+// callBackend issues one backend Resolve with panic containment: a panic
+// escaping the backend (beyond the resolver's own containment) is
+// captured as a *resolve.PanicError instead of unwinding through the HTTP
+// handler and killing the flight's followers.
+func (s *Server) callBackend(ctx context.Context, req resolve.Request) (r *resolve.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.panics.Add(1)
+			r, err = nil, &resolve.PanicError{Op: "serve/backend", Value: fmt.Sprint(rec), Stack: debug.Stack()}
+		}
+	}()
+	if err := fpBackendResolve.Inject(""); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	r, err = s.backend.Resolve(ctx, req)
+	s.metrics.observeSolve(time.Since(t0))
+	return r, err
+}
+
+// staleAnswer is degraded mode: when a request failed for a degradable
+// reason, serve the shape's last-known-good answer — provided the epoch
+// it was computed at is within the staleness bound of the current
+// universe. The caller receives its own copy, stamped with the served
+// (stale) epoch; the degraded flag rides the response.
+func (s *Server) staleAnswer(req resolve.Request, cause error) *resolve.Result {
+	if s.lkg == nil || s.opts.MaxStaleEpochs < 0 || !degradable(cause) {
+		return nil
+	}
+	entry := s.lkg.get(req.Key())
+	if entry == nil {
+		return nil
+	}
+	cur := uint64(s.backend.Epoch())
+	if cur-uint64(entry.Stats.Epoch) > uint64(s.opts.MaxStaleEpochs) {
+		return nil
+	}
+	s.metrics.degraded.Add(1)
+	return copyResult(entry)
+}
+
+// retryAfterSeconds renders a wait estimate as a Retry-After value,
+// rounded up to whole seconds (the header's granularity; a sub-second
+// estimate still advises 1s, never "now").
+func retryAfterSeconds(wait time.Duration) string {
+	return strconv.FormatInt(int64(wait/time.Second)+1, 10)
 }
 
 // copyResult clones a result deeply enough for caller ownership: a fresh
@@ -341,8 +486,14 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Kind: "bad_request"})
 		return
 	}
-	epoch, err := s.backend.Apply(d)
+	epoch, err := s.applyBackend(d)
 	if err != nil {
+		var pe *resolve.PanicError
+		if errors.As(err, &pe) {
+			status, resp := errorStatus(err)
+			writeError(w, status, resp)
+			return
+		}
 		// A quarantining broadcast still advanced the universe; report
 		// both the epoch and the attribution.
 		resp := ErrorResponse{Error: err.Error(), Kind: "apply_failed"}
@@ -355,6 +506,36 @@ func (s *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.applies.Add(1)
 	writeJSON(w, http.StatusOK, ApplyResponse{Epoch: uint64(epoch)})
+}
+
+// applyBackend issues one backend Apply with panic containment, mirroring
+// callBackend.
+func (s *Server) applyBackend(d *resolve.Delta) (epoch resolve.Epoch, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.metrics.panics.Add(1)
+			epoch, err = s.backend.Epoch(), &resolve.PanicError{Op: "serve/backend/apply", Value: fmt.Sprint(rec), Stack: debug.Stack()}
+		}
+	}()
+	if err := fpBackendApply.Inject(""); err != nil {
+		return s.backend.Epoch(), err
+	}
+	return s.backend.Apply(d)
+}
+
+// handleRebuild (POST /v1/rebuild) is the operator override for benched
+// capacity: it force-heals every quarantined member or broken shard —
+// crashlooping (sticky) ones included — and reports what it healed. 501
+// when the backend has no benched-capacity concept (a bare session).
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	rb, ok := s.backend.(rebuilder)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, ErrorResponse{Error: "serve: backend does not support rebuild", Kind: "unsupported"})
+		return
+	}
+	healed := rb.Rebuild()
+	s.metrics.rebuilds.Add(1)
+	writeJSON(w, http.StatusOK, RebuildResponse{Healed: healed})
 }
 
 // Stats snapshots the process-wide registry (also served at /v1/stats).
@@ -371,6 +552,11 @@ func (s *Server) Stats() ServerStats {
 		Timeouts:    s.metrics.timeouts.Load(),
 		Failures:    s.metrics.failures.Load(),
 		Applies:     s.metrics.applies.Load(),
+		Degraded:    s.metrics.degraded.Load(),
+		Retries:     s.metrics.retries.Load(),
+		Panics:      s.metrics.panics.Load(),
+		Rebuilds:    s.metrics.rebuilds.Load(),
+		Faultpoints: faultpoint.Armed(),
 		P50Ms:       float64(p50) / float64(time.Millisecond),
 		P90Ms:       float64(p90) / float64(time.Millisecond),
 		P99Ms:       float64(p99) / float64(time.Millisecond),
@@ -380,9 +566,12 @@ func (s *Server) Stats() ServerStats {
 		MaxInflight: s.opts.MaxInflight,
 		Epoch:       uint64(s.backend.Epoch()),
 	}
+	if s.lkg != nil {
+		st.StaleCacheLen = s.lkg.len()
+	}
 	if hr, ok := s.backend.(healthReporter); ok {
 		for _, h := range hr.Health() {
-			mh := MemberHealthResponse{Name: h.Name, Quarantined: h.Quarantined, Epoch: uint64(h.Epoch)}
+			mh := MemberHealthResponse{Name: h.Name, Quarantined: h.Quarantined, CrashLoop: h.CrashLoop, Epoch: uint64(h.Epoch)}
 			if h.Err != nil {
 				mh.Error = h.Err.Error()
 			}
@@ -401,12 +590,16 @@ func (s *Server) Stats() ServerStats {
 			Steals:   ps.Steals,
 			Waits:    ps.Waits,
 			Rebuilds: ps.Rebuilds,
+			Panics:   ps.Panics,
+			Broken:   ps.Broken,
 		}
 		for _, sh := range ps.Shard {
 			sr := ShardStatsResponse{
 				Served:    sh.Served,
 				CacheHits: sh.CacheHits,
 				Inflight:  sh.Inflight,
+				Broken:    sh.Broken,
+				CrashLoop: sh.CrashLoop,
 				Encoding:  encodingResponse(sh.Encoding),
 			}
 			if sh.Served > 0 {
